@@ -1,0 +1,23 @@
+"""Benchmark harness configuration.
+
+Every benchmark regenerates one of the paper's tables/figures; besides the
+timing collected by pytest-benchmark, each prints the regenerated rows so
+``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
+section end to end.  The printed tables are also written to
+``benchmarks/out/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+OUT_DIR = Path(__file__).parent / "out"
+OUT_DIR.mkdir(exist_ok=True)
+
+
+def publish(name: str, text: str) -> None:
+    """Print a regenerated artifact and persist it for the write-up."""
+    banner = f"\n===== {name} ====="
+    print(banner)
+    print(text)
+    (OUT_DIR / f"{name}.txt").write_text(text + "\n")

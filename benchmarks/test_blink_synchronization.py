@@ -1,0 +1,20 @@
+"""§5.2: the 400/1000 ms blinkers — synchronous Céu vs asynchronous
+RTOS/occam implementations (two simulated minutes)."""
+
+from conftest import publish
+
+from repro.eval import blink
+
+
+def test_blink_synchronization(benchmark):
+    results = benchmark.pedantic(blink.experiment,
+                                 kwargs={"duration_us": 120_000_000},
+                                 rounds=1, iterations=1)
+    publish("blink_synchronization", blink.render(results))
+
+    ceu, mantis, occam = results
+    assert ceu.sync_ratio == 1.0
+    assert ceu.max_drift_us <= 8_000          # bounded by the driver step
+    assert mantis.sync_ratio < 0.5
+    assert occam.sync_ratio < 0.5
+    assert mantis.max_drift_us > 10 * ceu.max_drift_us

@@ -1,0 +1,20 @@
+"""Figure 1 (`fig:reaction`): the four-reaction scenario of §2."""
+
+from conftest import publish
+
+from repro.eval import figures
+
+
+def test_fig1_reaction_chains(benchmark):
+    result = benchmark(figures.figure1)
+    lines = [f"{trigger:12} trails={n}"
+             + ("  (discarded)" if discarded else "")
+             for trigger, n, discarded in result.reaction_summary()]
+    lines.append(f"terminated before C: {result.terminated_before_c}")
+    lines.append(result.trace.render())
+    publish("fig1_reaction_chains", "\n".join(lines))
+
+    summary = result.reaction_summary()
+    assert summary[1] == ("event:A", 2, False)   # A awakes trails 1 and 3
+    assert summary[2][2] is True                  # second A discarded
+    assert result.terminated_before_c             # C never handled

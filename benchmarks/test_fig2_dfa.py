@@ -1,0 +1,22 @@
+"""Figure 2 (`fig:dfa`): the temporal analysis refusing the §2.6 program
+on the sixth occurrence of `A`."""
+
+from conftest import publish
+
+from repro.eval import figures
+
+
+def test_fig2_dfa(benchmark):
+    result = benchmark(figures.figure2)
+    text = (f"states: {result.dfa.state_count()}\n"
+            f"transitions: {result.dfa.transition_count()}\n"
+            f"conflict state: #{result.conflict_state}\n"
+            f"occurrences of A to reach the race: "
+            f"{result.occurrences_to_conflict}\n"
+            f"first witness: {result.dfa.conflicts[0].message()}\n\n"
+            f"{result.dot}")
+    publish("fig2_dfa", text)
+
+    assert result.detected
+    # the paper's DFA flags the race after six As (state #8 in its fig.)
+    assert result.occurrences_to_conflict == 6

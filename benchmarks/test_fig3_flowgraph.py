@@ -1,0 +1,21 @@
+"""The §4.1 flow graph (`fig:nfa`) of the guiding example, with the
+outer-construct-gets-lower-priority join ordering."""
+
+from conftest import publish
+
+from repro.eval import figures
+
+
+def test_fig3_flow_graph(benchmark):
+    result = benchmark(figures.figure3)
+    text = (f"nodes: {len(result.graph.nodes)}, "
+            f"edges: {len(result.graph.edges)}, "
+            f"awaits: {len(result.graph.await_nodes())}\n"
+            f"join priorities (larger = runs later): "
+            f"{result.join_priorities}\n\n{result.dot}")
+    publish("fig3_flowgraph", text)
+
+    priorities = dict(result.join_priorities)
+    assert priorities["loop-end"] > priorities["par/or-join"] \
+        > priorities["par/and-join"]
+    assert len(result.graph.await_nodes()) == 4

@@ -1,0 +1,18 @@
+"""The conclusion's expressiveness claim: Céu needs roughly half the
+lines of the event-driven (nesC-style) implementations."""
+
+from conftest import publish
+
+from repro.eval import loc
+
+
+def test_loc_expressiveness(benchmark):
+    rows = benchmark(loc.loc_table)
+    publish("loc_expressiveness", loc.render(rows))
+
+    total_ceu = sum(r.ceu for r in rows)
+    total_nesc = sum(r.nesc for r in rows)
+    # the complex apps (where callbacks hurt) carry the claim
+    assert total_ceu / total_nesc < 0.75
+    client = next(r for r in rows if r.app == "Client")
+    assert client.ratio < 0.7

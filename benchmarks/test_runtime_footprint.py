@@ -1,0 +1,26 @@
+"""§1's footprint claim: the Céu runtime needs ~4 KB ROM / ~100 B RAM on a
+16-bit platform, before application code."""
+
+from conftest import publish
+
+from repro.codegen import CEU_RAM_KERNEL, CEU_ROM_KERNEL, ceu_footprint
+from repro.lang import parse
+from repro.sema import bind
+
+
+def minimal_footprint():
+    bound = bind(parse("input void A;\nawait A;"))
+    return ceu_footprint(bound)
+
+
+def test_runtime_footprint(benchmark):
+    fp = benchmark(minimal_footprint)
+    text = (f"minimal program: {fp}\n"
+            f"runtime kernel constants: ROM={CEU_ROM_KERNEL}B "
+            f"RAM={CEU_RAM_KERNEL}B\n"
+            f"paper claim: ~4KB ROM, ~100B RAM (§1)")
+    publish("runtime_footprint", text)
+
+    assert 3_000 <= CEU_ROM_KERNEL <= 5_000
+    assert 64 <= CEU_RAM_KERNEL <= 160
+    assert fp.rom < 6_000

@@ -1,0 +1,20 @@
+"""Table 1 (`tab:eval`): ROM/RAM of the four apps, Céu vs nesC (§4.6)."""
+
+from conftest import publish
+
+from repro.eval import table1
+
+
+def test_table1_memory_usage(benchmark):
+    rows = benchmark(table1.table1)
+    publish("table1_memory", table1.render(rows))
+
+    # the paper's qualitative findings
+    for row in rows:
+        assert row.ceu_rom > row.nesc_rom
+        assert row.ceu_ram > row.nesc_ram
+    diffs = [r.diff_rom for r in rows]
+    assert diffs == sorted(diffs, reverse=True), \
+        "the Céu−nesC gap must shrink as apps grow"
+    rel = [r.rel_rom_overhead for r in rows]
+    assert rel == sorted(rel, reverse=True)

@@ -1,0 +1,25 @@
+"""Table 2 (`tab:resp`): responsiveness under load, Céu vs MantisOS (§4.6)."""
+
+from conftest import publish
+
+from repro.eval import table2
+
+
+def test_table2_responsiveness(benchmark):
+    results = benchmark.pedantic(table2.table2, rounds=1, iterations=1)
+    publish("table2_responsiveness", table2.render(results))
+
+    by_cell = {(r.system, r.senders, r.loops): r for r in results}
+    # every cell within 5% of the paper
+    for key, result in by_cell.items():
+        paper = table2.PAPER[key]
+        assert abs(result.total_s - paper) / paper < 0.05, (key, result)
+    # adding 5 infinite loops is negligible (the paper's point)
+    for system in ("Céu", "MantisOS"):
+        for senders in (1, 2):
+            base = by_cell[(system, senders, False)].total_s
+            loaded = by_cell[(system, senders, True)].total_s
+            assert loaded - base < 0.3
+    # 2 senders: Céu (TinyOS backend) outpaces MantisOS
+    assert by_cell[("Céu", 2, False)].total_s < \
+        by_cell[("MantisOS", 2, False)].total_s

@@ -1,0 +1,38 @@
+"""Ablation: reaction-chain throughput of the reference VM as the number
+of parallel trails grows (the paper claims trail bookkeeping is
+negligible, promoting fine-grained trails, §2.1)."""
+
+from conftest import publish
+
+from repro.runtime import Program
+
+
+def make_fanout(n: int) -> str:
+    decls = "\n".join(f"int n{i} = 0;" for i in range(n))
+    if n == 1:
+        return (f"input void A;\n{decls}\n"
+                f"loop do\n   await A;\n   n0 = n0 + 1;\nend")
+    branches = "\nwith\n".join(
+        f"   loop do\n      await A;\n      n{i} = n{i} + 1;\n   end"
+        for i in range(n))
+    return f"input void A;\n{decls}\npar do\n{branches}\nend"
+
+
+def run_reactions(trails: int, events: int = 200) -> int:
+    program = Program(make_fanout(trails))
+    program.start()
+    for _ in range(events):
+        program.send("A")
+    return program.sched.reaction_count
+
+
+def test_vm_throughput(benchmark):
+    rows = []
+    for trails in (1, 8, 64):
+        reactions = run_reactions(trails)
+        rows.append((trails, reactions))
+    benchmark(run_reactions, 64, 50)
+    text = "\n".join(f"{t:3d} trails: {r} reactions"
+                     for t, r in rows)
+    publish("vm_throughput", text)
+    assert all(r == 201 for _, r in rows)

@@ -1,0 +1,25 @@
+#!/usr/bin/env python3
+"""The §5.2 experiment: synchronous vs asynchronous blinking.
+
+Two leds at 400 ms and 1000 ms should co-light every 2 s.  Céu's
+deadline-chained timers keep them aligned forever; the naive preemptive
+(MantisOS-style) and message-passing (occam-style) implementations drift.
+
+Run:  python examples/blink_comparison.py
+"""
+
+from repro.eval import blink
+
+
+def main() -> None:
+    results = blink.experiment(duration_us=300_000_000)  # 5 minutes
+    print(blink.render(results))
+    print()
+    for result in results:
+        bar = "#" * int(result.sync_ratio * 40)
+        print(f"{result.system:18} |{bar:<40}| "
+              f"{result.synchronized}/{result.boundaries} boundaries in sync")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Dataflow with internal events (§2.2): mutual Celsius/Fahrenheit
+constraints without dependency cycles, courtesy of the stack policy.
+
+Run:  python examples/dataflow_temperature.py
+"""
+
+from repro.core import compile_source
+
+SOURCE = r"""
+input int SetC, SetF;
+int tc, tf;
+internal void tc_evt, tf_evt;
+par do
+   loop do             // tc → tf
+      await tc_evt;
+      tf = 9 * tc / 5 + 32;
+      emit tf_evt;
+   end
+with
+   loop do             // tf → tc
+      await tf_evt;
+      tc = 5 * (tf - 32) / 9;
+      emit tc_evt;
+   end
+with
+   loop do
+      tc = await SetC;
+      emit tc_evt;
+      _printf("set C: %dC = %dF\n", tc, tf);
+   end
+with
+   loop do
+      tf = await SetF;
+      emit tf_evt;
+      _printf("set F: %dF = %dC\n", tf, tc);
+   end
+end
+"""
+
+
+def main() -> None:
+    unit = compile_source(SOURCE)   # temporal analysis proves determinism
+    program = unit.instantiate()
+    program.start()
+    for event, value in [("SetC", 100), ("SetF", 32), ("SetC", 37),
+                         ("SetF", 451)]:
+        program.send(event, value)
+    print(program.output(), end="")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""The §3.3 demo: Mario embedded unmodified in three environments.
+
+1. plain play with scripted key presses;
+2. record the gameplay, then replay it — frame-for-frame identical,
+   because a Céu program's behaviour depends only on its input order;
+3. replay *backwards*, presenting scene N, N-1, ... by silently
+   fast-forwarding a fresh run for each scene.
+
+Run:  python examples/mario_replay.py
+"""
+
+from repro.apps.envs import MarioScreen
+from repro.apps.mario import (environment_backwards, environment_plain,
+                              environment_replay)
+from repro.platforms import SdlHost
+
+KEYS = (12, 60)
+STEPS = 150
+
+
+def main() -> None:
+    print("— environment 1: live play —")
+    screen = MarioScreen()
+    SdlHost(environment_plain(STEPS, KEYS),
+            extra_env={**screen.env(), "KEYS": list(KEYS)}).run()
+    print(f"{len(screen.frames)} frames; "
+          f"first {screen.frames[0]} → last {screen.frames[-1]}")
+
+    print("\n— environment 2: record + replay —")
+    screen2 = MarioScreen()
+    SdlHost(environment_replay(STEPS, KEYS, replays=2),
+            extra_env={**screen2.env(), "KEYS": list(KEYS)}).run()
+    n = len(screen2.frames) // 3
+    original = screen2.frames[:n]
+    replay_1 = screen2.frames[n:2 * n]
+    replay_2 = screen2.frames[2 * n:]
+    print(f"original == replay1 == replay2: "
+          f"{original == replay_1 == replay_2} ({n} frames each)")
+
+    print("\n— environment 3: backwards replay —")
+    screen3 = MarioScreen()
+    SdlHost(environment_backwards(40, (7,)),
+            extra_env={**screen3.env(), "KEYS": [7]}).run()
+    forward = screen3.frames[:41]
+    backward = screen3.frames[41:]
+    print(f"backward frames == reversed(forward): "
+          f"{backward == list(reversed(forward[1:]))}")
+    print(f"first backward scene (the final forward scene): {backward[0]}")
+
+
+if __name__ == "__main__":
+    main()

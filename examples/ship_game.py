@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""The §3.2 Arduino demo: the "ship" LCD game.
+
+The Céu program (`src/repro/apps/ceu/ship.ceu`) mirrors the paper's CODE
+1/2/3 fragments: attribute reset, the central loop (game steps in parallel
+with key handling), the after-game animation, and a debounced analog key
+generator feeding `emit Key` from an async block.
+
+Run:  python examples/ship_game.py
+"""
+
+from repro.apps import load
+from repro.apps.envs import ShipWorld
+from repro.platforms import ArduinoBoard
+
+
+def press(board: ArduinoBoard, at: str, level: int,
+          release: str) -> list:
+    return [(at, level), (release, 1023)]
+
+
+def main() -> None:
+    world = ShipWorld(seed=3)
+    board = ArduinoBoard(load("ship"), extra_env=world.env())
+    world.lcd = board.lcd
+
+    # script the player's analog button: one press to start, a couple of
+    # steering inputs, one press to restart after the crash
+    steps = []
+    steps += press(board, "1s", 100, "1200ms")      # start (UP)
+    steps += press(board, "3s", 300, "3200ms")      # steer DOWN
+    steps += press(board, "5s", 100, "5200ms")      # steer UP
+    steps += press(board, "12s", 100, "12200ms")    # dismiss crash screen
+    steps += press(board, "14s", 100, "14200ms")    # start next quest
+    board.script_analog(0, steps)
+
+    board.boot()
+    board.run_for("25s", tick="25ms")
+
+    print(f"map row 0: {world.map_rows[0]}")
+    print(f"map row 1: {world.map_rows[1]}")
+    print(f"{len(world.redraws)} redraws; game steps reached: "
+          f"{[s for s, _, _ in world.redraws]}")
+    games = sum(1 for s, _, _ in world.redraws if s == 0)
+    print(f"games started: {games}")
+    print("final LCD:")
+    print(board.lcd.frames[-1][1])
+
+
+if __name__ == "__main__":
+    main()

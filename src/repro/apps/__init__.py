@@ -1,0 +1,26 @@
+"""The paper's applications, as Céu sources shipped with the package.
+
+========== =====================================================
+``blink``   Table 1 row 1 — three-led blinker
+``sense``   Table 1 row 2 — periodic sensor sampling
+``client``  Table 1 row 3 — send + ack + retry
+``server``  Table 1 row 4 — receive + display + ack
+``ring``    §3.1 — three-mote ring with failure handling
+``ship``    §3.2 — Arduino LCD game
+``mario_game`` §3.3 — game core (spliced into environments)
+``blink2``  §5.2 — the 400/1000 ms synchronization experiment
+========== =====================================================
+"""
+
+from importlib import resources
+
+
+def load(name: str) -> str:
+    """Return the Céu source of a bundled application."""
+    return (resources.files(__package__) / "ceu" / f"{name}.ceu").read_text()
+
+
+def names() -> list[str]:
+    base = resources.files(__package__) / "ceu"
+    return sorted(p.name[:-4] for p in base.iterdir()
+                  if p.name.endswith(".ceu"))

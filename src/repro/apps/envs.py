@@ -1,0 +1,125 @@
+"""C-side environments for the demo applications (§3.2, §3.3).
+
+The paper's demos mix Céu code with application-specific C definitions
+(map generation, screen redraw, key decoding).  Here those C functions are
+Python callables installed into the program's :class:`~repro.runtime.CEnv`
+— shared by the examples, the tests and the benchmark harness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sim.des import Rng
+
+# ---------------------------------------------------------------------------
+# ship (§3.2)
+# ---------------------------------------------------------------------------
+
+KEY_NONE = 0
+KEY_UP = 1
+KEY_DOWN = 2
+
+MAP_LEN = 40
+FINISH = MAP_LEN - 2
+
+
+@dataclass
+class ShipWorld:
+    """The ship demo's C side: map, redraw, key decoding."""
+
+    lcd: object = None
+    seed: int = 3
+    map_rows: list[str] = field(default_factory=list)
+    redraws: list[tuple[int, int, int]] = field(default_factory=list)
+    rng: Rng = field(default_factory=lambda: Rng(3))
+
+    def map_generate(self) -> int:
+        self.rng = Rng(self.seed)
+        rows = [[" "] * MAP_LEN, [" "] * MAP_LEN]
+        for col in range(4, FINISH, 2):
+            # at most one meteor per column pair, never blocking both rows
+            row = self.rng.uniform(0, 2)
+            if row < 2:
+                rows[row][col] = "#"
+        self.map_rows = ["".join(r) for r in rows]
+        return 0
+
+    def redraw(self, step: int, ship: int, points: int) -> int:
+        self.redraws.append((step, ship, points))
+        if self.lcd is not None:
+            self.lcd.clear()
+            window = 16
+            for row in range(2):
+                self.lcd.setCursor(0, row)
+                segment = self.map_rows[row][step:step + window] \
+                    if self.map_rows else " " * window
+                self.lcd.print(segment.ljust(window))
+            self.lcd.setCursor(0, ship)
+            self.lcd.write(">")
+        return 0
+
+    def analog2key(self, level: int) -> int:
+        if level < 200:
+            return KEY_UP
+        if level < 500:
+            return KEY_DOWN
+        return KEY_NONE
+
+    def env(self) -> dict:
+        return {
+            "map_generate": self.map_generate,
+            "redraw": self.redraw,
+            "analog2key": self.analog2key,
+            "MAP": _MapView(self),
+            "FINISH": FINISH,
+            "KEY_NONE": KEY_NONE,
+            "KEY_UP": KEY_UP,
+            "KEY_DOWN": KEY_DOWN,
+        }
+
+
+class _MapView:
+    """`_MAP[row][col]` — live view over the generated map."""
+
+    def __init__(self, world: ShipWorld):
+        self.world = world
+
+    def __getitem__(self, row: int) -> str:
+        if not self.world.map_rows:
+            return " " * MAP_LEN
+        return self.world.map_rows[row]
+
+
+# ---------------------------------------------------------------------------
+# mario (§3.3)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class MarioScreen:
+    """The mario demo's single side effect, with the §3.3 tweaks: an
+    on/off toggle and a "present" sentinel (`_redraw(0,0,0,0)`) used by
+    the backwards replay to re-emit the last computed scene."""
+
+    enabled: bool = True
+    frames: list[tuple[int, int, int, int]] = field(default_factory=list)
+    last: Optional[tuple[int, int, int, int]] = None
+
+    def redraw(self, mx: int, my: int, tx: int, ty: int) -> int:
+        scene = (mx, my, tx, ty)
+        if scene == (0, 0, 0, 0) and self.last is not None:
+            scene = self.last   # present the last computed scene
+        else:
+            self.last = scene
+        if self.enabled:
+            self.frames.append(scene)
+        return 0
+
+    def redraw_on(self, flag: int) -> int:
+        self.enabled = bool(flag)
+        return 0
+
+    def env(self) -> dict:
+        return {"redraw": self.redraw, "redraw_on": self.redraw_on}

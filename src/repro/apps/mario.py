@@ -1,0 +1,261 @@
+"""Mario environments (§3.3): the game core embedded *unmodified* in three
+enclosing environments, exactly the paper's workflow.
+
+1. :func:`environment_plain`    — live play: scripted keys, bounded steps;
+2. :func:`environment_replay`   — record 1000 steps, then replay the same
+   input sequence (faster), ``replays`` times;
+3. :func:`environment_backwards`— replay *backwards*: for each
+   ``step_ref`` from 1000 down to 1, fast-forward silently and present
+   only the scene at ``step_ref``.
+"""
+
+from __future__ import annotations
+
+from textwrap import indent
+
+from . import load
+
+_HEADER = """\
+input int  Seed;
+input void Key;
+input void Step;
+input void Restart;
+internal void collision;
+pure _rand;
+pure _srand;
+pure _redraw;
+"""
+
+
+def _game(body_indent: str = "      ") -> str:
+    return indent(load("mario_game"), body_indent)
+
+
+def environment_plain(steps: int = 1000, key_steps: tuple = ()) -> str:
+    """Live environment: emits Seed, then `steps` Step events at 10 ms,
+    pressing Key at the scripted step numbers."""
+    keys = ", ".join(str(k) for k in key_steps) or "-1"
+    return f"""{_HEADER}
+par/or do
+   // CODE FOR THE GAME
+   do
+{_game()}
+   end
+with
+   // CODE FOR THE EVENT GENERATOR
+   async do
+      emit Seed = _time(0);
+      int step = 0;
+      int idx = 0;
+      loop do
+         if idx < {len(key_steps)} && step == _KEYS[idx] then
+            emit Key;
+            idx = idx + 1;
+         end
+         emit 10ms;
+         emit Step;
+         step = step + 1;
+         if step == {steps} then
+            break;
+         end
+      end
+   end
+end
+C do
+static const int KEYS[] = {{ {keys} }};
+end
+"""
+
+
+def environment_replay(steps: int = 1000, key_steps: tuple = (),
+                       replays: int = 1) -> str:
+    """Record/replay environment: play `steps` steps with scripted keys,
+    recording them, then re-execute the gameplay `replays` times from the
+    recorded vector (each replay restarts the game, §3.3)."""
+    keys = ", ".join(str(k) for k in key_steps) or "-1"
+    return f"""{_HEADER}
+par/or do
+   loop do
+      par/or do
+         // CODE FOR THE GAME
+         do
+{indent(load('mario_game'), '         ')}
+         end
+      with
+         await Restart;
+      end
+   end
+with
+   async do
+      // CODE FOR THE (MODIFIED) EVENT GENERATOR
+      int step = 0;
+      int seed = _time(0);
+      emit Seed = seed;
+
+      int[{max(steps, 1)}] keys;
+      keys[0] = -1;
+      int idx = 0;
+
+      loop do
+         if idx < {len(key_steps)} && step == _KEYS[idx] then
+            keys[idx] = step;
+            idx = idx + 1;
+            if idx < {max(steps, 1)} then
+               keys[idx] = -1;
+            end
+            emit Key;
+         end
+         emit 10ms;
+         emit Step;
+         step = step + 1;
+         if step == {steps} then
+            break;
+         end
+      end
+
+      // CODE FOR THE REPLAY
+      int replay = 0;
+      loop do
+         emit Restart;
+         emit Seed = seed;
+         step = 0;
+         idx = 0;
+         loop do
+            if step == keys[idx] then
+               emit Key;
+               idx = idx + 1;
+            else
+               emit 10ms;
+               emit Step;
+               step = step + 1;
+               if step == {steps} then
+                  break;
+               end
+            end
+         end
+         replay = replay + 1;
+         if replay == {replays} then
+            break;
+         end
+      end
+   end
+end
+C do
+static const int KEYS[] = {{ {keys} }};
+end
+"""
+
+
+def environment_backwards(steps: int = 100, key_steps: tuple = ()) -> str:
+    """Backwards replay (§3.3): record, then for each step_ref from
+    `steps` down to 1, silently fast-forward and present one scene."""
+    keys = ", ".join(str(k) for k in key_steps) or "-1"
+    return f"""{_HEADER}
+par/or do
+   loop do
+      par/or do
+         // CODE FOR THE GAME
+         do
+{indent(load('mario_game'), '         ')}
+         end
+      with
+         await Restart;
+      end
+   end
+with
+   async do
+      // CODE FOR THE (MODIFIED) EVENT GENERATOR
+      int step = 0;
+      int seed = _time(0);
+      emit Seed = seed;
+
+      int[{max(steps, 1)}] keys;
+      keys[0] = -1;
+      int idx = 0;
+
+      loop do
+         if idx < {len(key_steps)} && step == _KEYS[idx] then
+            keys[idx] = step;
+            idx = idx + 1;
+            if idx < {max(steps, 1)} then
+               keys[idx] = -1;
+            end
+            emit Key;
+         end
+         emit 10ms;
+         emit Step;
+         step = step + 1;
+         if step == {steps} then
+            break;
+         end
+      end
+
+      // CODE FOR THE (MODIFIED) REPLAY
+      int step_ref = {steps};
+      loop do
+         _redraw_on(0);
+         emit Restart;
+         emit Seed = seed;
+         step = 0;
+         idx = 0;
+         loop do
+            if step == keys[idx] then
+               emit Key;
+               idx = idx + 1;
+            else
+               emit 10ms;
+               emit Step;
+               step = step + 1;
+               if step == step_ref then
+                  break;
+               end
+            end
+         end
+         _redraw_on(1);
+         _redraw(0, 0, 0, 0);
+         step_ref = step_ref - 1;
+         if step_ref == 0 then
+            break;
+         end
+      end
+   end
+end
+C do
+static const int KEYS[] = {{ {keys} }};
+end
+"""
+
+
+def environment_sdl_poll(steps: int = 1000) -> str:
+    """The paper's first environment verbatim: poll SDL for key events,
+    emit time and Step every 10 ms (bounded at `steps` for testing)."""
+    return f"""{_HEADER}
+par/or do
+   // CODE FOR THE GAME
+   do
+{_game()}
+   end
+with
+   // CODE FOR THE EVENT GENERATOR
+   async do
+      emit Seed = _time(0);
+      int step = 0;
+      loop do
+         _SDL_Event event;
+         if _SDL_PollEvent(&event) then
+            if event.type == _SDL_KEYDOWN then
+               emit Key;
+            end
+         else
+            _SDL_Delay(10);
+            emit 10ms;
+            emit Step;
+            step = step + 1;
+            if step == {steps} then
+               break;
+            end
+         end
+      end
+   end
+end
+"""

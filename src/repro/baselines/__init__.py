@@ -1,0 +1,11 @@
+"""Comparison systems: nesC-style event-driven (§4.6 exp. 1), MantisOS-style
+preemptive multithreading (§4.6 exp. 2), occam-style CSP (§5.2)."""
+
+from .mantis import MantisOS, MThread, QUANTUM_US
+from .nesc import (BlinkApp, ClientApp, NescApp, NescKernel, SenseApp,
+                   ServerApp, nesc_footprint)
+from .occam import Channel, OccamProcess, OccamRuntime
+
+__all__ = ["NescKernel", "NescApp", "BlinkApp", "SenseApp", "ClientApp",
+           "ServerApp", "nesc_footprint", "MantisOS", "MThread",
+           "QUANTUM_US", "OccamRuntime", "OccamProcess", "Channel"]

@@ -1,0 +1,178 @@
+"""MantisOS-style preemptive multithreading baseline (§4.6 experiment 2,
+§5.2 blink experiment).
+
+MantisOS schedules threads preemptively with priorities and round-robin
+time slices.  The simulator models exactly what the paper's experiments
+exercise:
+
+* threads as generators yielding ``("compute", us)`` / ``("sleep", us)`` /
+  ``("recv",)`` / ``("toggle", led)`` requests;
+* priority scheduling with a fixed quantum; a higher-priority thread
+  becoming ready preempts the running one;
+* a radio queue feeding ``recv``-blocked threads;
+* *scheduling jitter* on sleeps: a woken thread waits for the CPU, so each
+  ``sleep(t)`` actually takes ``t + ε`` — the uncompensated residual delta
+  (§2.3) whose accumulation makes the naive blink drift (§5.2).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..sim.des import Rng, Simulator
+
+QUANTUM_US = 10_000          # MantisOS default time slice (10 ms)
+
+
+@dataclass(eq=False)
+class MThread:
+    name: str
+    body: Iterator
+    priority: int = 1          # smaller = more urgent
+    state: str = "ready"       # ready | running | sleeping | recv | dead
+    wake_at: int = 0
+    remaining_us: int = 0      # of the current compute burst
+    cpu_us: int = 0
+    toggles: list[tuple[int, int]] = field(default_factory=list)
+
+
+class MantisOS:
+    """One node running preemptive threads."""
+
+    def __init__(self, jitter_us: int = 800, seed: int = 11,
+                 sim: Optional[Simulator] = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.threads: list[MThread] = []
+        self.radio_queue: list[Any] = []
+        self.received: list[tuple[int, Any]] = []
+        self.jitter_us = jitter_us
+        self.rng = Rng(seed)
+        self._running: Optional[MThread] = None
+        self._slice_handle: Optional[int] = None
+        self._seq = itertools.count()
+
+    # ------------------------------------------------------------- threads
+    def spawn(self, name: str, gen: Iterator, priority: int = 1) -> MThread:
+        thread = MThread(name, gen, priority)
+        self.threads.append(thread)
+        self._make_ready(thread, immediate=True)
+        return thread
+
+    def _make_ready(self, thread: MThread, immediate: bool = False) -> None:
+        thread.state = "ready"
+        delay = 0 if immediate else self.rng.uniform(0, self.jitter_us)
+        self.sim.after(delay, self._schedule)
+
+    # ------------------------------------------------------------ schedule
+    def _pick(self) -> Optional[MThread]:
+        ready = [t for t in self.threads if t.state == "ready"]
+        if not ready:
+            return None
+        best_prio = min(t.priority for t in ready)
+        candidates = [t for t in ready if t.priority == best_prio]
+        # round robin: least CPU first among equal priority
+        return min(candidates, key=lambda t: (t.cpu_us, t.name))
+
+    def _schedule(self) -> None:
+        current = self._running
+        nxt = self._pick()
+        if nxt is None:
+            return
+        if current is not None and current.state == "running":
+            if current.priority <= nxt.priority:
+                return  # current keeps the CPU until its slice ends
+            # preemption: put the current thread back on the ready list
+            current.state = "ready"
+            if self._slice_handle is not None:
+                self.sim.cancel(self._slice_handle)
+        self._dispatch(nxt)
+
+    def _dispatch(self, thread: MThread) -> None:
+        self._running = thread
+        thread.state = "running"
+        if thread.remaining_us > 0:
+            self._burn(thread)
+            return
+        self._advance(thread)
+
+    def _advance(self, thread: MThread) -> None:
+        try:
+            req = next(thread.body)
+        except StopIteration:
+            thread.state = "dead"
+            self._running = None
+            self.sim.after(0, self._schedule)
+            return
+        kind = req[0]
+        if kind == "compute":
+            thread.remaining_us = req[1]
+            self._burn(thread)
+        elif kind == "sleep":
+            thread.state = "sleeping"
+            self._running = None
+            jitter = self.rng.uniform(0, self.jitter_us)
+            self.sim.after(req[1] + jitter,
+                           lambda t=thread: self._wake(t))
+            self.sim.after(0, self._schedule)
+        elif kind == "recv":
+            if self.radio_queue:
+                msg = self.radio_queue.pop(0)
+                self.received.append((self.sim.now, msg))
+                self._advance(thread)
+            else:
+                thread.state = "recv"
+                self._running = None
+                self.sim.after(0, self._schedule)
+        elif kind == "toggle":
+            thread.toggles.append((self.sim.now, req[1]))
+            self._advance(thread)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown thread request {req!r}")
+
+    def _burn(self, thread: MThread) -> None:
+        slice_us = min(QUANTUM_US, thread.remaining_us)
+
+        def done(t=thread, used=slice_us) -> None:
+            if t.state != "running":
+                return
+            t.remaining_us -= used
+            t.cpu_us += used
+            if t.remaining_us <= 0:
+                self._running = None
+                t.state = "ready"
+                self._advance_or_requeue(t)
+            else:
+                # slice expired: yield the CPU (round robin)
+                t.state = "ready"
+                self._running = None
+                self._schedule()
+
+        self._slice_handle = self.sim.after(slice_us, done)
+
+    def _advance_or_requeue(self, thread: MThread) -> None:
+        thread.state = "running"
+        self._running = thread
+        self._advance(thread)
+
+    def _wake(self, thread: MThread) -> None:
+        if thread.state == "sleeping":
+            self._make_ready(thread, immediate=True)
+            self._schedule()
+
+    # -------------------------------------------------------------- radio
+    def radio_deliver(self, msg: Any) -> None:
+        """A message arrives from the network (interrupt context)."""
+        waiter = next((t for t in self.threads if t.state == "recv"), None)
+        if waiter is None:
+            self.radio_queue.append(msg)
+            return
+        self.received.append((self.sim.now, msg))
+        # the radio ISR marks the thread ready; it still must win the CPU
+        waiter.state = "ready"
+        self.sim.after(0, self._schedule)
+
+    def run_until(self, time_us: int) -> None:
+        self.sim.run_until(time_us)

@@ -1,0 +1,106 @@
+"""occam-style message-passing baseline (§5.2).
+
+The paper's blink experiment compares Céu with "Concurrency for Arduino"
+(an occam runtime): independent processes coordinated by channels, with
+timers read via ``TIM ? t`` and delays via ``TIM ? AFTER t + period``.
+The crucial behavioural detail reproduced here: the naive occam blinker
+recomputes each deadline from *the time it happened to wake up*, so
+scheduler latency accumulates and two blinkers with co-divisible periods
+drift out of phase — unlike Céu's residual-delta chaining (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+from ..sim.des import Rng, Simulator
+
+
+class Channel:
+    """A synchronous occam channel (rendezvous)."""
+
+    def __init__(self, name: str = "chan"):
+        self.name = name
+        self.senders: list[tuple["OccamProcess", Any]] = []
+        self.receivers: list["OccamProcess"] = []
+
+
+@dataclass(eq=False)
+class OccamProcess:
+    name: str
+    body: Iterator
+    state: str = "ready"       # ready | delaying | sending | receiving | dead
+    toggles: list[tuple[int, int]] = field(default_factory=list)
+    inbox: Any = None
+
+
+class OccamRuntime:
+    """Cooperative occam-like scheduler with wake-up jitter on delays.
+
+    Process bodies are generators yielding:
+
+    * ``("delay", us)``        — ``TIM ? AFTER now PLUS us``;
+    * ``("send", chan, v)`` / ``("recv", chan)`` — channel rendezvous;
+    * ``("toggle", led)``      — pin write (recorded);
+    * ``("now",)``             — read the timer (sent back into the body).
+    """
+
+    def __init__(self, jitter_us: int = 600, seed: int = 23,
+                 sim: Optional[Simulator] = None):
+        self.sim = sim if sim is not None else Simulator()
+        self.processes: list[OccamProcess] = []
+        self.jitter_us = jitter_us
+        self.rng = Rng(seed)
+
+    def spawn(self, name: str, gen: Iterator) -> OccamProcess:
+        proc = OccamProcess(name, gen)
+        self.processes.append(proc)
+        self.sim.after(0, lambda: self._advance(proc, None))
+        return proc
+
+    def _advance(self, proc: OccamProcess, value: Any) -> None:
+        if proc.state == "dead":
+            return
+        proc.state = "ready"
+        try:
+            req = proc.body.send(value) if value is not None or \
+                getattr(proc, "_started", False) else next(proc.body)
+            proc._started = True  # type: ignore[attr-defined]
+        except StopIteration:
+            proc.state = "dead"
+            return
+        kind = req[0]
+        if kind == "delay":
+            proc.state = "delaying"
+            jitter = self.rng.uniform(0, self.jitter_us)
+            self.sim.after(req[1] + jitter,
+                           lambda: self._advance(proc, 0))
+        elif kind == "toggle":
+            proc.toggles.append((self.sim.now, req[1]))
+            self.sim.after(0, lambda: self._advance(proc, 0))
+        elif kind == "now":
+            self.sim.after(0, lambda: self._advance(proc, self.sim.now))
+        elif kind == "send":
+            _, chan, payload = req
+            if chan.receivers:
+                other = chan.receivers.pop(0)
+                self.sim.after(0, lambda: self._advance(other, payload))
+                self.sim.after(0, lambda: self._advance(proc, 0))
+            else:
+                proc.state = "sending"
+                chan.senders.append((proc, payload))
+        elif kind == "recv":
+            _, chan = req
+            if chan.senders:
+                other, payload = chan.senders.pop(0)
+                self.sim.after(0, lambda: self._advance(other, 0))
+                self.sim.after(0, lambda: self._advance(proc, payload))
+            else:
+                proc.state = "receiving"
+                chan.receivers.append(proc)
+        else:  # pragma: no cover
+            raise ValueError(f"unknown occam request {req!r}")
+
+    def run_until(self, time_us: int) -> None:
+        self.sim.run_until(time_us)

@@ -1,0 +1,180 @@
+"""Command-line interface: ``python -m repro <command> <file.ceu>``.
+
+Commands mirror what the original `ceu` compiler offered plus the
+reproduction's analysis artifacts:
+
+=========  ==============================================================
+``check``  run all static analyses; print the verdict and statistics
+``run``    execute on the reference VM, feeding events/time from ``--ev``
+           and ``--at`` arguments in order
+``c``      emit the §4.4 C translation to stdout (or ``-o``)
+``dot``    emit the flow graph (``--flow``) or the temporal-analysis DFA
+           (default) as graphviz text
+``layout`` print the static memory layout and gate table
+=========  ==============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from .codegen import HOST, TARGET16, build_gates, build_layout, compile_to_c
+from .core import analyze
+from .dfa import build_dfa
+from .flow import build_flow
+from .lang import parse
+from .lang.errors import CeuError
+from .runtime import Program
+from .runtime.program import parse_time
+from .sema import bind, check_bounded
+
+
+def _load(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def cmd_check(args) -> int:
+    source = _load(args.file)
+    unit = analyze(source, filename=args.file,
+                   max_states=args.max_states)
+    dfa = unit.dfa
+    layout = unit.memory_layout(TARGET16)
+    gates = unit.gate_table()
+    print(f"{args.file}: deterministic")
+    print(f"  events   : {len(unit.bound.events)}")
+    print(f"  variables: {len(unit.bound.variables)} "
+          f"({layout.total} bytes static memory)")
+    print(f"  gates    : {gates.count}")
+    print(f"  dfa      : {dfa.state_count()} states, "
+          f"{dfa.transition_count()} transitions")
+    return 0
+
+
+def cmd_run(args) -> int:
+    source = _load(args.file)
+    program = Program(source, filename=args.file, trace=args.trace)
+    program.start()
+    for item in args.inputs or []:
+        if program.done:
+            break
+        if item.startswith("@"):
+            program.at(parse_time(item[1:]))
+        elif "=" in item:
+            name, value = item.split("=", 1)
+            program.send(name, int(value))
+        else:
+            program.send(item)
+    sys.stdout.write(program.output())
+    if args.trace:
+        print("--- trace ---", file=sys.stderr)
+        print(program.trace.render(), file=sys.stderr)
+    if program.done:
+        print(f"terminated, result = {program.result}", file=sys.stderr)
+        return 0
+    print("awaiting further input", file=sys.stderr)
+    return 0
+
+
+def cmd_c(args) -> int:
+    source = _load(args.file)
+    bound = bind(parse(source, args.file))
+    check_bounded(bound)
+    abi = TARGET16 if args.target16 else HOST
+    compiled = compile_to_c(bound, abi=abi, with_main=not args.no_main,
+                            name=Path(args.file).stem or "ceu")
+    if args.output:
+        Path(args.output).write_text(compiled.code)
+        print(f"wrote {args.output}: {compiled.n_tracks} tracks, "
+              f"{compiled.n_gates} gates, {compiled.mem_size} mem bytes",
+              file=sys.stderr)
+    else:
+        sys.stdout.write(compiled.code)
+    return 0
+
+
+def cmd_dot(args) -> int:
+    source = _load(args.file)
+    bound = bind(parse(source, args.file))
+    if args.flow:
+        sys.stdout.write(build_flow(bound).to_dot() + "\n")
+        return 0
+    dfa = build_dfa(bound, max_states=args.max_states)
+    sys.stdout.write(dfa.to_dot(bound) + "\n")
+    if dfa.conflicts:
+        print(f"warning: {len(dfa.conflicts)} nondeterminism witness(es); "
+              f"first: {dfa.conflicts[0].message()}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_layout(args) -> int:
+    source = _load(args.file)
+    bound = bind(parse(source, args.file))
+    layout = build_layout(bound, TARGET16)
+    gates = build_gates(bound)
+    print(f"memory vector: {layout.total} bytes (16-bit target)")
+    for sym in bound.variables:
+        print(f"  +{layout.offset(sym):4d} {layout.size(sym):3d}B  "
+              f"{sym.type} {sym.name}")
+    print(f"gates: {gates.count}")
+    for gate in gates.gates:
+        event = f" ({gate.event})" if gate.event else ""
+        print(f"  g{gate.id:<3d} {gate.kind}{event}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Céu reproduction: compiler, analyses, VM, C backend")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("check", help="run the static analyses")
+    p.add_argument("file")
+    p.add_argument("--max-states", type=int, default=20_000)
+    p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser("run", help="execute on the reference VM")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*",
+                   help="event inputs: NAME, NAME=VALUE, or @TIME "
+                        "(e.g. Key=2 @1s Restart)")
+    p.add_argument("--trace", action="store_true")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("c", help="emit the C translation")
+    p.add_argument("file")
+    p.add_argument("-o", "--output")
+    p.add_argument("--no-main", action="store_true")
+    p.add_argument("--target16", action="store_true",
+                   help="lay memory out for the 16-bit embedded target")
+    p.set_defaults(fn=cmd_c)
+
+    p = sub.add_parser("dot", help="emit graphviz (DFA, or --flow)")
+    p.add_argument("file")
+    p.add_argument("--flow", action="store_true")
+    p.add_argument("--max-states", type=int, default=20_000)
+    p.set_defaults(fn=cmd_dot)
+
+    p = sub.add_parser("layout", help="print memory layout and gates")
+    p.add_argument("file")
+    p.set_defaults(fn=cmd_layout)
+    return parser
+
+
+def main(argv=None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.fn(args)
+    except CeuError as err:
+        print(str(err), file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Code generation: static memory layout (§4.2), gate allocation (§4.3),
+C emission (§4.4-4.5) and the ROM/RAM footprint model (§4.6)."""
+
+from .cemit import CompiledC, UnsupportedForC, compile_to_c
+from .gates import Gate, GateTable, build_gates
+from .memlayout import HOST, TARGET16, MemLayout, TargetABI, build_layout
+from .report import (CEU_RAM_KERNEL, CEU_ROM_KERNEL, Footprint,
+                     ceu_footprint)
+
+__all__ = ["compile_to_c", "CompiledC", "UnsupportedForC",
+           "build_gates", "GateTable", "Gate",
+           "build_layout", "MemLayout", "TargetABI", "TARGET16", "HOST",
+           "ceu_footprint", "Footprint", "CEU_ROM_KERNEL", "CEU_RAM_KERNEL"]

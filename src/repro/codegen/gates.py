@@ -1,0 +1,142 @@
+"""Gate allocation (§4.3).
+
+Every await statement owns a *gate* holding whether it is currently active
+(and, in the generated C, which track to awake).  Gates of a parallel
+composition's subtree occupy **consecutive slots**, so destroying the
+composition's trails is one ``memset`` over the range — the paper's key
+implementation trick.  The allocator extends the same idea to the two
+bookkeeping gates the backend needs:
+
+* a *join gate* per rejoining composition (its pending rejoin is cancelled
+  by any outer kill that wipes the range containing it);
+* an *escape gate* per ``break``/``return`` that crosses compositions
+  (ditto for pending escapes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..lang import ast
+from ..sema.binder import BoundProgram
+
+
+@dataclass(frozen=True, slots=True)
+class Gate:
+    id: int
+    kind: str                # "ext" | "intl" | "time" | "forever" |
+    #                          "join" | "escape" | "async"
+    node_nid: int
+    event: Optional[str] = None
+
+
+@dataclass
+class GateTable:
+    gates: list[Gate] = field(default_factory=list)
+    by_await: dict[int, Gate] = field(default_factory=dict)   # await nid
+    by_event: dict[str, list[Gate]] = field(default_factory=dict)
+    join_gate: dict[int, Gate] = field(default_factory=dict)  # par nid
+    escape_gate: dict[int, Gate] = field(default_factory=dict)  # break/ret nid
+    #: par nid → (first_gate_id, last_gate_id) of each branch's subtree
+    branch_ranges: dict[int, list[tuple[int, int]]] = field(
+        default_factory=dict)
+
+    @property
+    def count(self) -> int:
+        return len(self.gates)
+
+    def kill_range(self, par_nid: int) -> tuple[int, int]:
+        """Union of the branch ranges — what an or-join memsets."""
+        ranges = self.branch_ranges[par_nid]
+        starts = [lo for lo, hi in ranges if lo <= hi]
+        ends = [hi for lo, hi in ranges if lo <= hi]
+        if not starts:
+            return (0, -1)  # empty
+        return (min(starts), max(ends))
+
+
+class _GateAllocator:
+    def __init__(self, bound: BoundProgram):
+        self.bound = bound
+        self.table = GateTable()
+
+    def _new(self, kind: str, nid: int, event: Optional[str] = None) -> Gate:
+        gate = Gate(len(self.table.gates), kind, nid, event)
+        self.table.gates.append(gate)
+        if event is not None:
+            self.table.by_event.setdefault(event, []).append(gate)
+        return gate
+
+    def build(self) -> GateTable:
+        self._block(self.bound.program.body)
+        return self.table
+
+    def _block(self, block: ast.Block) -> None:
+        for stmt in block.stmts:
+            self._stmt(stmt)
+
+    def _stmt(self, s: ast.Stmt) -> None:
+        bound = self.bound
+        if isinstance(s, ast.AwaitExt):
+            sym = bound.event_of[s.nid]
+            self.table.by_await[s.nid] = self._new("ext", s.nid, sym.name)
+        elif isinstance(s, ast.AwaitInt):
+            sym = bound.event_of[s.nid]
+            self.table.by_await[s.nid] = self._new("intl", s.nid, sym.name)
+        elif isinstance(s, (ast.AwaitTime, ast.AwaitExp)):
+            self.table.by_await[s.nid] = self._new("time", s.nid)
+        elif isinstance(s, ast.AwaitForever):
+            self.table.by_await[s.nid] = self._new("forever", s.nid)
+        elif isinstance(s, ast.AsyncBlock):
+            self.table.by_await[s.nid] = self._new("async", s.nid)
+        elif isinstance(s, (ast.Break, ast.Return)):
+            target = self._escape_target(s)
+            if target is not None and self._crosses_par(s, target):
+                self.table.escape_gate[s.nid] = self._new("escape", s.nid)
+        elif isinstance(s, ast.ParStmt):
+            rejoins = (s.mode in ("or", "and")
+                       or s.nid in bound.value_boundaries)
+            if rejoins:
+                # header slot: inside the enclosing region, before branches
+                self.table.join_gate[s.nid] = self._new("join", s.nid)
+            ranges: list[tuple[int, int]] = []
+            for block in s.blocks:
+                first = len(self.table.gates)
+                self._block(block)
+                ranges.append((first, len(self.table.gates) - 1))
+            self.table.branch_ranges[s.nid] = ranges
+        elif isinstance(s, ast.If):
+            self._block(s.then)
+            if s.orelse is not None:
+                self._block(s.orelse)
+        elif isinstance(s, ast.Loop):
+            self._block(s.body)
+        elif isinstance(s, ast.DoBlock):
+            self._block(s.body)
+        elif isinstance(s, ast.Assign) and not isinstance(s.value, ast.Exp):
+            self._stmt(s.value)
+        elif isinstance(s, ast.DeclVar):
+            for d in s.decls:
+                if d.init is not None and not isinstance(d.init, ast.Exp):
+                    self._stmt(d.init)
+
+    def _escape_target(self, s: ast.Stmt) -> Optional[ast.Node]:
+        if isinstance(s, ast.Break):
+            return self.bound.break_target[s.nid]
+        return self.bound.ret_boundary.get(s.nid)
+
+    def _crosses_par(self, node: ast.Node, target: ast.Node) -> bool:
+        cur = self.bound.parent.get(node.nid)
+        while cur is not None and cur is not target:
+            if isinstance(cur, ast.ParStmt):
+                return True
+            if isinstance(cur, ast.AsyncBlock):
+                return False  # escapes inside asyncs stay local
+            cur = self.bound.parent.get(cur.nid)
+        return isinstance(target, ast.ParStmt)
+
+
+def build_gates(bound: BoundProgram) -> GateTable:
+    """Allocate gates in DFS order (contiguous ranges per composition)."""
+    return _GateAllocator(bound).build()

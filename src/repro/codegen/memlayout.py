@@ -1,0 +1,140 @@
+"""Static memory layout (§4.2).
+
+Céu allocates a single flat byte vector sized for the maximum simultaneous
+memory use.  Variables of trails in parallel must coexist (branch extents
+are laid side by side), while statements in sequence reuse memory (sibling
+scopes of ``if``/``do``/``loop`` constructs all start at the same offset
+and the enclosing extent is their maximum).
+
+The layout is parameterised by a target ABI: the 16-bit embedded targets of
+the paper (ROM/RAM tables) and the host ABI used when the generated C is
+compiled with the local toolchain for differential testing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..lang import ast
+from ..sema.binder import BoundProgram
+from ..sema.symbols import VarSymbol
+
+
+@dataclass(frozen=True, slots=True)
+class TargetABI:
+    name: str
+    sizes: dict
+    pointer_size: int
+    align: int
+
+    def sizeof(self, t: ast.TypeRef) -> int:
+        if t.pointers:
+            return self.pointer_size
+        return self.sizes.get(t.name, self.sizes["int"])
+
+
+#: the paper's 16-bit microcontroller targets (§1: "16 bits platform")
+TARGET16 = TargetABI("target16",
+                     {"char": 1, "u8": 1, "s8": 1, "u16": 2, "s16": 2,
+                      "short": 2, "int": 2, "u32": 4, "s32": 4, "long": 4,
+                      "void": 1}, pointer_size=2, align=2)
+
+#: the host ABI for gcc-compiled differential tests
+HOST = TargetABI("host",
+                 {"char": 1, "u8": 1, "s8": 1, "u16": 2, "s16": 2,
+                  "short": 2, "int": 4, "u32": 4, "s32": 4, "long": 8,
+                  "void": 1}, pointer_size=8, align=8)
+
+
+@dataclass
+class MemLayout:
+    abi: TargetABI
+    offsets: dict[VarSymbol, int] = field(default_factory=dict)
+    sizes: dict[VarSymbol, int] = field(default_factory=dict)
+    total: int = 0
+
+    def offset(self, sym: VarSymbol) -> int:
+        return self.offsets[sym]
+
+    def size(self, sym: VarSymbol) -> int:
+        return self.sizes[sym]
+
+    def overlaps(self, a: VarSymbol, b: VarSymbol) -> bool:
+        """Do two variables share bytes?  (Legal only when their lifetimes
+        cannot coexist — checked by the property tests.)"""
+        a0, a1 = self.offsets[a], self.offsets[a] + self.sizes[a]
+        b0, b1 = self.offsets[b], self.offsets[b] + self.sizes[b]
+        return a0 < b1 and b0 < a1
+
+
+def _align(offset: int, alignment: int) -> int:
+    rem = offset % alignment
+    return offset if rem == 0 else offset + (alignment - rem)
+
+
+class _LayoutBuilder:
+    def __init__(self, bound: BoundProgram, abi: TargetABI):
+        self.bound = bound
+        self.abi = abi
+        self.layout = MemLayout(abi)
+
+    def build(self) -> MemLayout:
+        extent = self._block(self.bound.program.body, 0)
+        self.layout.total = extent
+        return self.layout
+
+    def _var_size(self, sym: VarSymbol) -> int:
+        unit = self.abi.sizeof(sym.type)
+        return unit * (sym.array_size or 1)
+
+    def _block(self, block: ast.Block, base: int) -> int:
+        # 1. direct variables coexist, packed from `base`
+        cursor = base
+        for stmt in block.stmts:
+            for sym in self._decls_of(stmt):
+                size = self._var_size(sym)
+                cursor = _align(cursor, min(self.abi.align,
+                                            self.abi.sizeof(sym.type)))
+                self.layout.offsets[sym] = cursor
+                self.layout.sizes[sym] = size
+                cursor += size
+        # 2. nested constructs: sequential share, parallel coexist
+        extent = cursor
+        for stmt in block.stmts:
+            extent = max(extent, self._stmt(stmt, cursor))
+        return extent
+
+    def _decls_of(self, stmt: ast.Stmt) -> list[VarSymbol]:
+        if isinstance(stmt, ast.DeclVar):
+            return [self.bound.sym_of_decl[d.nid] for d in stmt.decls]
+        return []
+
+    def _stmt(self, s: ast.Stmt, base: int) -> int:
+        if isinstance(s, ast.If):
+            extent = self._block(s.then, base)
+            if s.orelse is not None:
+                extent = max(extent, self._block(s.orelse, base))
+            return extent
+        if isinstance(s, ast.Loop):
+            return self._block(s.body, base)
+        if isinstance(s, (ast.DoBlock, ast.AsyncBlock)):
+            return self._block(s.body, base)
+        if isinstance(s, ast.ParStmt):
+            cursor = base
+            for block in s.blocks:
+                cursor = self._block(block, cursor)  # side by side
+            return cursor
+        if isinstance(s, ast.Assign) and not isinstance(s.value, ast.Exp):
+            return self._stmt(s.value, base)
+        if isinstance(s, ast.DeclVar):
+            extent = base
+            for d in s.decls:
+                if d.init is not None and not isinstance(d.init, ast.Exp):
+                    extent = max(extent, self._stmt(d.init, base))
+            return extent
+        return base
+
+
+def build_layout(bound: BoundProgram, abi: TargetABI = TARGET16) -> MemLayout:
+    """Compute the flat slot vector for a bound program."""
+    return _LayoutBuilder(bound, abi).build()

@@ -1,0 +1,55 @@
+"""ROM/RAM footprint model (§4.6, Table `eval`; §1 footprint claim).
+
+The paper measured avr-gcc binaries on motes; we have no AVR toolchain, so
+the model reproduces the *mechanism* behind the paper's numbers instead:
+
+* **ROM** = a fixed runtime kernel (scheduler, gate lists, timer handling —
+  the paper reports ~4 KB) plus code proportional to the program's tracks;
+* **RAM** = the static slot vector (memory layout, §4.2) + one gate per
+  await + queues + timer slots (the paper reports ~100 B of kernel RAM).
+
+Constants are calibrated once against the paper's Blink row and then held
+fixed for every other program, so relative comparisons (the shrinking
+Céu-vs-nesC gap of Table 1) are produced by the model, not fitted per row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sema.binder import BoundProgram
+from .cemit import CompiledC
+from .gates import build_gates
+from .memlayout import TARGET16, build_layout
+
+#: calibrated once against the paper's Blink measurements (§4.6)
+CEU_ROM_KERNEL = 3600      # scheduler + gates + timers + event dispatch
+CEU_ROM_PER_TRACK = 46     # switch case + bookkeeping per track
+CEU_RAM_KERNEL = 96        # queues, clock, scratch (§1: "100bytes of RAM")
+CEU_RAM_PER_GATE = 4       # gate word + timer slot share (16-bit target)
+CEU_RAM_PER_EVENT = 2      # event value slot
+
+
+@dataclass(frozen=True, slots=True)
+class Footprint:
+    rom: int
+    ram: int
+
+    def __str__(self) -> str:
+        return f"ROM={self.rom}B RAM={self.ram}B"
+
+
+def ceu_footprint(bound: BoundProgram,
+                  compiled: CompiledC | None = None) -> Footprint:
+    """Estimated 16-bit-target footprint of a compiled Céu program."""
+    layout = build_layout(bound, TARGET16)
+    gates = build_gates(bound)
+    if compiled is not None:
+        n_tracks = compiled.n_tracks
+    else:
+        n_tracks = gates.count * 2 + 8
+    rom = CEU_ROM_KERNEL + CEU_ROM_PER_TRACK * n_tracks
+    ram = (CEU_RAM_KERNEL + layout.total
+           + CEU_RAM_PER_GATE * gates.count
+           + CEU_RAM_PER_EVENT * len(bound.events))
+    return Footprint(rom, ram)

@@ -1,0 +1,18 @@
+"""Public facade of the reproduction.
+
+Typical use::
+
+    from repro.core import compile_source, run
+
+    unit = compile_source(source_text)      # parse + bind + all analyses
+    program = unit.instantiate()            # a VM-backed Program
+    program.start(); program.send("Key")
+
+or one-shot::
+
+    result = run(source_text, events=[("Key", 0)], until="10s")
+"""
+
+from .compile import CompiledUnit, analyze, compile_source, run
+
+__all__ = ["compile_source", "analyze", "run", "CompiledUnit"]

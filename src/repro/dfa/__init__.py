@@ -1,0 +1,8 @@
+"""Temporal analysis: abstract reaction execution, DFA construction, and
+the three nondeterminism checks of §2.6."""
+
+from .actions import Action, ChainSet, Conflict, find_conflicts
+from .builder import Dfa, DfaState, build_dfa, check_determinism
+
+__all__ = ["build_dfa", "check_determinism", "Dfa", "DfaState",
+           "Action", "Conflict", "ChainSet", "find_conflicts"]

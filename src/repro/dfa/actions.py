@@ -1,0 +1,147 @@
+"""Actions, chains and the concurrency/conflict model of the temporal
+analysis (§2.6).
+
+During one abstract reaction chain, every executed access is recorded as an
+:class:`Action` tagged with the *chain* that performed it.  A chain is one
+run-to-halt execution (the abstract counterpart of a track, §4.4).  Two
+chains are **ordered** (deterministically sequenced) when:
+
+* one transitively *caused* the other — an emitter is ordered before the
+  trails its ``emit`` awakes (stack policy, §2.2), and a parent is ordered
+  before the branches it spawns; or
+* they run at different priorities — join/termination continuations run
+  after all normal work, inner joins before outer ones (§4.1).
+
+Any other pair of chains in the same reaction is **concurrent**, and the
+paper's three nondeterminism sources are checked across concurrent pairs:
+
+* variables: write vs. read/write of the same variable;
+* internal events: emit vs. emit, and emit vs. *arming* an await;
+* C calls: any two calls not allowed by ``pure``/``deterministic``
+  annotations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..lang.errors import SourceSpan
+from ..sema.symbols import Annotations
+
+# access kinds
+RD, WR, EMIT, ARM, CALL = "rd", "wr", "emit", "arm", "call"
+
+
+@dataclass(frozen=True, slots=True)
+class Action:
+    chain: int
+    kind: str          # rd | wr | emit | arm | call
+    key: tuple         # ("var", uid, name) | ("evt", uid, name) |
+    #                    ("cfun", name) | ("cglobal", name) | ("deref", uid, name)
+    span: SourceSpan
+
+    def describe(self) -> str:
+        kind_text = {RD: "read of", WR: "write to", EMIT: "emit of",
+                     ARM: "await of", CALL: "call to"}[self.kind]
+        return f"{kind_text} {self.key_name()} at {self.span}"
+
+    def key_name(self) -> str:
+        tag = self.key[0]
+        if tag == "var":
+            return f"variable `{self.key[2]}`"
+        if tag == "evt":
+            return f"event `{self.key[2]}`"
+        if tag == "cfun":
+            return f"C function `_{self.key[1]}`"
+        if tag == "cglobal":
+            return f"C global `_{self.key[1]}`"
+        if tag == "deref":
+            return f"*{self.key[2]}"
+        return str(self.key)
+
+
+class ChainSet:
+    """Chain registry for one abstract reaction."""
+
+    def __init__(self) -> None:
+        self._next = 0
+        self.prio: dict[int, tuple] = {}
+        self.cause: dict[int, Optional[int]] = {}
+
+    def new(self, prio: tuple = (0,), cause: Optional[int] = None) -> int:
+        cid = self._next
+        self._next += 1
+        self.prio[cid] = prio
+        self.cause[cid] = cause
+        return cid
+
+    def copy(self) -> "ChainSet":
+        dup = ChainSet()
+        dup._next = self._next
+        dup.prio = dict(self.prio)
+        dup.cause = dict(self.cause)
+        return dup
+
+    def ordered(self, a: int, b: int) -> bool:
+        """Is the relative execution order of chains a and b fixed?"""
+        if a == b:
+            return True
+        if self.prio[a] != self.prio[b]:
+            return True
+        return self._ancestor(a, b) or self._ancestor(b, a)
+
+    def _ancestor(self, anc: int, cid: int) -> bool:
+        cur: Optional[int] = self.cause[cid]
+        while cur is not None:
+            if cur == anc:
+                return True
+            cur = self.cause[cur]
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Conflict:
+    """A witnessed pair of concurrent conflicting actions."""
+
+    first: Action
+    second: Action
+    trigger: str
+    state_index: int
+
+    def message(self) -> str:
+        return (f"nondeterminism on {self.first.key_name()}: concurrent "
+                f"{self.first.describe()} and {self.second.describe()} "
+                f"(reachable in DFA state #{self.state_index} on "
+                f"{self.trigger})")
+
+
+def _conflicting(a: Action, b: Action, ann: Annotations) -> bool:
+    if a.kind == CALL and b.kind == CALL:
+        return not ann.compatible(a.key[1], b.key[1])
+    if a.key != b.key:
+        return False
+    tag = a.key[0]
+    if tag in ("var", "deref", "cglobal"):
+        return a.kind == WR or b.kind == WR
+    if tag == "evt":
+        kinds = {a.kind, b.kind}
+        return EMIT in kinds and kinds <= {EMIT, ARM}
+    return False
+
+
+def find_conflicts(actions: list[Action], chains: ChainSet,
+                   ann: Annotations, trigger: str,
+                   state_index: int) -> list[Conflict]:
+    """All conflicting concurrent pairs in one abstract reaction."""
+    conflicts: list[Conflict] = []
+    n = len(actions)
+    for i in range(n):
+        a = actions[i]
+        for j in range(i + 1, n):
+            b = actions[j]
+            if chains.ordered(a.chain, b.chain):
+                continue
+            if _conflicting(a, b, ann):
+                conflicts.append(Conflict(a, b, trigger, state_index))
+    return conflicts

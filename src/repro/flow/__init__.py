@@ -1,0 +1,6 @@
+"""Flow graph ("NFA") construction and rendering (§4.1)."""
+
+from .builder import build_flow
+from .graph import FlowGraph, FlowNode
+
+__all__ = ["build_flow", "FlowGraph", "FlowNode"]

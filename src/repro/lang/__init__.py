@@ -1,0 +1,18 @@
+"""Céu language front end: lexer, parser, AST, pretty-printer."""
+
+from . import ast
+from .errors import (AnalysisBudgetExceeded, AsyncError, BindError,
+                     BoundedError, CeuError, LexError, NondeterminismError,
+                     ParseError, RuntimeCeuError, SourcePos, SourceSpan)
+from .lexer import tokenize
+from .parser import parse, parse_expression
+from .pretty import pretty
+from .time_units import TimeLiteral, us_to_text
+
+__all__ = [
+    "ast", "tokenize", "parse", "parse_expression", "pretty",
+    "TimeLiteral", "us_to_text",
+    "CeuError", "LexError", "ParseError", "BindError", "BoundedError",
+    "AsyncError", "NondeterminismError", "RuntimeCeuError",
+    "AnalysisBudgetExceeded", "SourcePos", "SourceSpan",
+]

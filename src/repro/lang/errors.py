@@ -1,0 +1,128 @@
+"""Diagnostics for the Céu front end and analyses.
+
+Every compile-time failure in the reproduction is reported through one of
+the exception classes below.  Each diagnostic carries a :class:`SourceSpan`
+so callers (tests, the CLI examples, the benchmark harness) can render
+precise ``file:line:col`` messages, mirroring the error style of the
+original Céu compiler.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True, slots=True)
+class SourcePos:
+    """A position inside a source buffer (1-based line/column)."""
+
+    line: int
+    col: int
+    offset: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.line}:{self.col}"
+
+
+@dataclass(frozen=True, slots=True)
+class SourceSpan:
+    """A half-open region of source text ``[start, end)``."""
+
+    start: SourcePos
+    end: SourcePos
+    filename: str = "<ceu>"
+
+    @staticmethod
+    def point(line: int, col: int, offset: int = 0,
+              filename: str = "<ceu>") -> "SourceSpan":
+        pos = SourcePos(line, col, offset)
+        return SourceSpan(pos, pos, filename)
+
+    def merge(self, other: "SourceSpan") -> "SourceSpan":
+        """Smallest span covering both ``self`` and ``other``."""
+        lo = self.start if self.start.offset <= other.start.offset else other.start
+        hi = self.end if self.end.offset >= other.end.offset else other.end
+        return SourceSpan(lo, hi, self.filename)
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"{self.filename}:{self.start}"
+
+
+UNKNOWN_SPAN = SourceSpan.point(0, 0)
+
+
+class CeuError(Exception):
+    """Base class of all diagnostics produced by the reproduction."""
+
+    kind = "error"
+
+    def __init__(self, message: str, span: Optional[SourceSpan] = None):
+        self.message = message
+        self.span = span if span is not None else UNKNOWN_SPAN
+        super().__init__(self.render())
+
+    def render(self) -> str:
+        if self.span is UNKNOWN_SPAN:
+            return f"{self.kind}: {self.message}"
+        return f"{self.span}: {self.kind}: {self.message}"
+
+
+class LexError(CeuError):
+    kind = "lex error"
+
+
+class ParseError(CeuError):
+    kind = "parse error"
+
+
+class BindError(CeuError):
+    """Name-resolution / declaration errors (undeclared ids, redeclaration,
+    emitting an input event from synchronous code, ...)."""
+
+    kind = "bind error"
+
+
+class BoundedError(CeuError):
+    """Violation of the bounded-execution rule of §2.5: a loop body has a
+    path with neither ``await`` nor ``break``."""
+
+    kind = "tight loop"
+
+
+class AsyncError(CeuError):
+    """Violation of the ``async`` restrictions of §2.7 (no parallel blocks,
+    no awaits, no internal events, no writes to outer variables)."""
+
+    kind = "async restriction"
+
+
+class NondeterminismError(CeuError):
+    """Raised by the temporal analysis (§2.6) when two concurrent trails may
+    access a variable, an internal event, or non-annotated C functions in
+    the same reaction chain."""
+
+    kind = "nondeterminism"
+
+    def __init__(self, message: str, span: Optional[SourceSpan] = None,
+                 state: Optional[int] = None,
+                 witness: Optional[tuple] = None):
+        self.state = state
+        self.witness = witness
+        super().__init__(message, span)
+
+
+class RuntimeCeuError(CeuError):
+    """Errors raised while a program is executing on the reference VM."""
+
+    kind = "runtime error"
+
+
+class AnalysisBudgetExceeded(CeuError):
+    """The DFA exploration hit its configured state budget.
+
+    The conversion is exponential in the worst case (§6); the budget turns a
+    blow-up into a diagnosable condition instead of a hang.
+    """
+
+    kind = "analysis budget exceeded"

@@ -1,0 +1,154 @@
+"""Pretty-printer: AST → canonical Céu source.
+
+``parse(pretty(parse(src)))`` must produce a structurally identical tree —
+the round-trip property checked by the test-suite (including under
+hypothesis-generated expression trees).
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .parser import _BINOP_PREC
+
+_INDENT = "   "
+
+
+def pretty(node: ast.Node) -> str:
+    """Render a program, statement, block or expression as Céu source."""
+    if isinstance(node, ast.Program):
+        return _block(node.body, 0)
+    if isinstance(node, ast.Block):
+        return _block(node, 0)
+    if isinstance(node, ast.Exp):
+        return _exp(node)
+    if isinstance(node, ast.Stmt):
+        return _stmt(node, 0)
+    raise TypeError(f"cannot pretty-print {type(node).__name__}")
+
+
+def _block(block: ast.Block, level: int) -> str:
+    return "\n".join(_stmt(s, level) for s in block.stmts)
+
+
+def _ind(level: int) -> str:
+    return _INDENT * level
+
+
+def _stmt(s: ast.Stmt, level: int) -> str:
+    pad = _ind(level)
+    if isinstance(s, ast.Nothing):
+        return f"{pad}nothing;"
+    if isinstance(s, ast.DeclEvent):
+        return f"{pad}{s.kind} {s.type} {', '.join(s.names)};"
+    if isinstance(s, ast.DeclVar):
+        arr = f"[{_exp(s.array)}]" if s.array is not None else ""
+        decls = ", ".join(
+            d.name if d.init is None else f"{d.name} = {_setexp(d.init, level)}"
+            for d in s.decls)
+        return f"{pad}{s.type}{arr} {decls};"
+    if isinstance(s, ast.CBlockStmt):
+        return f"{pad}C do{s.code}end"
+    if isinstance(s, ast.PureDecl):
+        return f"{pad}pure {', '.join(s.names)};"
+    if isinstance(s, ast.DeterministicDecl):
+        return f"{pad}deterministic {', '.join(s.names)};"
+    if isinstance(s, ast.AwaitExt):
+        return f"{pad}await {s.event};"
+    if isinstance(s, ast.AwaitInt):
+        return f"{pad}await {s.event};"
+    if isinstance(s, ast.AwaitTime):
+        return f"{pad}await {s.time};"
+    if isinstance(s, ast.AwaitExp):
+        return f"{pad}await ({_exp(s.exp)});"
+    if isinstance(s, ast.AwaitForever):
+        return f"{pad}await forever;"
+    if isinstance(s, (ast.EmitExt, ast.EmitInt)):
+        tail = "" if s.value is None else f" = {_exp(s.value)}"
+        return f"{pad}emit {s.event}{tail};"
+    if isinstance(s, ast.EmitTime):
+        return f"{pad}emit {s.time};"
+    if isinstance(s, ast.If):
+        out = f"{pad}if {_exp(s.cond)} then\n{_block(s.then, level + 1)}"
+        if s.orelse is not None:
+            out += f"\n{pad}else\n{_block(s.orelse, level + 1)}"
+        return out + f"\n{pad}end"
+    if isinstance(s, ast.Loop):
+        return (f"{pad}loop do\n{_block(s.body, level + 1)}\n{pad}end")
+    if isinstance(s, ast.Break):
+        return f"{pad}break;"
+    if isinstance(s, ast.ParStmt):
+        parts = [f"{pad}{s.keyword} do"]
+        for i, blk in enumerate(s.blocks):
+            if i > 0:
+                parts.append(f"{pad}with")
+            parts.append(_block(blk, level + 1))
+        parts.append(f"{pad}end")
+        return "\n".join(parts)
+    if isinstance(s, ast.CCallStmt):
+        return f"{pad}{_exp(s.call)};"
+    if isinstance(s, ast.CallStmt):
+        return f"{pad}call {_exp(s.exp)};"
+    if isinstance(s, ast.Assign):
+        return f"{pad}{_exp(s.target)} = {_setexp(s.value, level)};"
+    if isinstance(s, ast.Return):
+        if s.value is None:
+            return f"{pad}return;"
+        return f"{pad}return {_exp(s.value)};"
+    if isinstance(s, ast.DoBlock):
+        return f"{pad}do\n{_block(s.body, level + 1)}\n{pad}end"
+    if isinstance(s, ast.AsyncBlock):
+        return f"{pad}async do\n{_block(s.body, level + 1)}\n{pad}end"
+    raise TypeError(f"cannot pretty-print statement {type(s).__name__}")
+
+
+def _setexp(value: ast.Node, level: int) -> str:
+    """Right-hand sides may be expressions or statement-expressions."""
+    if isinstance(value, ast.Exp):
+        return _exp(value)
+    # statement-valued rvalue: render inline without the leading indent
+    rendered = _stmt(value, level)
+    stripped = rendered.lstrip()
+    return stripped.rstrip(";")
+
+
+# -------------------------------------------------------------- expressions
+
+def _exp(e: ast.Exp, parent_prec: int = 0) -> str:
+    if isinstance(e, ast.Num):
+        return str(e.value)
+    if isinstance(e, ast.Str):
+        escaped = (e.value.replace("\\", "\\\\").replace('"', '\\"')
+                   .replace("\n", "\\n").replace("\t", "\\t"))
+        return f'"{escaped}"'
+    if isinstance(e, ast.Null):
+        return "null"
+    if isinstance(e, (ast.NameInt, ast.NameC)):
+        return e.name
+    if isinstance(e, ast.Unop):
+        inner = _exp(e.operand, 11)
+        sep = " " if e.op == "&" and inner.startswith("&") else ""
+        text = f"{e.op}{sep}{inner}"  # `& &x`, never the `&&` token
+        if parent_prec >= 12:  # operand of a postfix []/()/field chain
+            return f"({text})"
+        return text
+    if isinstance(e, ast.Binop):
+        prec = _BINOP_PREC[e.op]
+        text = (f"{_exp(e.left, prec)} {e.op} {_exp(e.right, prec + 1)}")
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+    if isinstance(e, ast.Index):
+        return f"{_exp(e.base, 12)}[{_exp(e.index)}]"
+    if isinstance(e, ast.CallExp):
+        args = ", ".join(_exp(a) for a in e.args)
+        return f"{_exp(e.func, 12)}({args})"
+    if isinstance(e, ast.FieldAccess):
+        return f"{_exp(e.base, 12)}{e.op}{e.name}"
+    if isinstance(e, ast.Cast):
+        text = f"<{e.type}> {_exp(e.operand, 11)}"
+        if parent_prec >= 12:
+            return f"({text})"
+        return text
+    if isinstance(e, ast.SizeOf):
+        return f"sizeof <{e.type}>"
+    raise TypeError(f"cannot pretty-print expression {type(e).__name__}")

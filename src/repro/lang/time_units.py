@@ -1,0 +1,72 @@
+"""Wall-clock TIME literals (§2.3, Appendix A).
+
+The grammar accepts ``(NUM h)? (NUM min)? (NUM s)? (NUM ms)? (NUM us)?``
+with at least one component, e.g. ``1h35min``, ``500ms``, ``10us``.
+Internally all wall-clock quantities are kept in microseconds — the finest
+unit the language exposes — as plain Python integers, so arithmetic never
+overflows or loses precision.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Microseconds per unit, in the fixed order the grammar requires.
+UNIT_US: dict[str, int] = {
+    "h": 3_600_000_000,
+    "min": 60_000_000,
+    "s": 1_000_000,
+    "ms": 1_000,
+    "us": 1,
+}
+
+#: Grammar-mandated ordering of the unit suffixes.
+UNIT_ORDER: tuple[str, ...] = ("h", "min", "s", "ms", "us")
+
+
+@dataclass(frozen=True, slots=True)
+class TimeLiteral:
+    """A parsed TIME literal with its component breakdown preserved.
+
+    ``components`` maps unit suffix to its count (only units present in the
+    source appear), so a pretty-printer can regenerate the exact literal.
+    """
+
+    us: int
+    components: tuple[tuple[str, int], ...]
+
+    def __str__(self) -> str:
+        return "".join(f"{n}{u}" for u, n in self.components)
+
+
+def from_components(pairs: list[tuple[str, int]]) -> TimeLiteral:
+    """Build a :class:`TimeLiteral` from ``[(unit, count), ...]`` pairs.
+
+    Pairs must already be in grammar order; the lexer guarantees that.
+    """
+    total = 0
+    for unit, count in pairs:
+        if unit not in UNIT_US:
+            raise ValueError(f"unknown time unit {unit!r}")
+        total += UNIT_US[unit] * count
+    return TimeLiteral(total, tuple((u, n) for u, n in pairs))
+
+
+def us_to_text(us: int) -> str:
+    """Render a microsecond count as the shortest canonical TIME literal.
+
+    Useful for traces and for generated-code comments; inverse-ish of the
+    lexer (``us_to_text(parse('1h35min').us) == '1h35min'``).
+    """
+    if us == 0:
+        return "0us"
+    if us < 0:
+        return f"-{us_to_text(-us)}"
+    parts: list[str] = []
+    rest = us
+    for unit in UNIT_ORDER:
+        size = UNIT_US[unit]
+        count, rest = divmod(rest, size)
+        if count:
+            parts.append(f"{count}{unit}")
+    return "".join(parts)

@@ -1,0 +1,9 @@
+"""Simulated platforms: TinyOS/WSN motes (§3.1), Arduino (§3.2), and the
+standalone SDL binding (§3.3)."""
+
+from .arduino import AnalogScript, ArduinoBoard, Lcd
+from .sdl import SdlHost, Screen
+from .tinyos import Message, Mote, TinyOsWorld, radio_get_payload
+
+__all__ = ["TinyOsWorld", "Mote", "Message", "radio_get_payload",
+           "ArduinoBoard", "Lcd", "AnalogScript", "SdlHost", "Screen"]

@@ -1,0 +1,12 @@
+"""Reference VM: the executable semantics of Céu (§2), exposed through the
+paper's `ceu_go_*` API (§4.5) plus a high-level `Program` facade."""
+
+from .cenv import CAssertionError, CEnv, Rand
+from .program import Program, parse_time
+from .scheduler import RUNNING, TERMINATED, Scheduler
+from .trace import Reaction, Step, Trace
+from .values import CellRef, FuncRef, ItemRef, Ref
+
+__all__ = ["Program", "parse_time", "Scheduler", "RUNNING", "TERMINATED",
+           "CEnv", "CAssertionError", "Rand", "Trace", "Reaction", "Step",
+           "Ref", "CellRef", "ItemRef", "FuncRef"]

@@ -1,0 +1,165 @@
+"""The C environment — Céu's window to the platform (§2.4).
+
+Identifiers prefixed with ``_`` in Céu are resolved *as is* against the C
+world.  In the reproduction the "C world" is a :class:`CEnv`: a name → value
+registry holding Python callables (C functions), plain values (C globals)
+and objects (C structs / C++-ish handles such as the Arduino ``_lcd``).
+
+A default environment provides the libc-ish services the paper's listings
+use — ``printf``, ``assert``, ``srand``/``rand`` (a deterministic LCG so
+simulations replay exactly), ``time`` — while platforms
+(:mod:`repro.platforms`) layer their own services on top.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from ..lang.errors import RuntimeCeuError
+from .values import CellRef, Ref
+
+
+class CAssertionError(RuntimeCeuError):
+    """`_assert(exp)` failed inside a Céu program."""
+
+    kind = "C assertion"
+
+
+class Rand:
+    """The C89 reference LCG — deterministic across runs, which is exactly
+    what the Mario record/replay demo relies on (§3.3)."""
+
+    RAND_MAX = 32767
+
+    def __init__(self, seed: int = 1):
+        self.state = seed
+
+    def srand(self, seed: int) -> int:
+        self.state = seed & 0xFFFFFFFF
+        return 0
+
+    def rand(self) -> int:
+        self.state = (self.state * 1103515245 + 12345) & 0x7FFFFFFF
+        return (self.state >> 16) % (self.RAND_MAX + 1)
+
+
+class CEnv:
+    """Mutable registry of C symbols visible to a program."""
+
+    def __init__(self, parent: Optional["CEnv"] = None):
+        self.parent = parent
+        self.symbols: dict[str, Any] = {}
+        self.stdout: list[str] = [] if parent is None else parent.stdout
+        if parent is None:
+            self._install_defaults()
+
+    # ------------------------------------------------------------ plumbing
+    def define(self, name: str, value: Any) -> None:
+        self.symbols[name] = value
+
+    def define_many(self, mapping: dict[str, Any]) -> None:
+        self.symbols.update(mapping)
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[CEnv] = self
+        while env is not None:
+            if name in env.symbols:
+                return env.symbols[name]
+            env = env.parent
+        raise RuntimeCeuError(f"undefined C symbol `_{name}`")
+
+    def has(self, name: str) -> bool:
+        env: Optional[CEnv] = self
+        while env is not None:
+            if name in env.symbols:
+                return True
+            env = env.parent
+        return False
+
+    def ref(self, name: str) -> Ref:
+        env: Optional[CEnv] = self
+        while env is not None:
+            if name in env.symbols:
+                return CellRef(env.symbols, name)
+            env = env.parent
+        raise RuntimeCeuError(f"undefined C symbol `_{name}`")
+
+    def assign(self, name: str, value: Any) -> None:
+        env: Optional[CEnv] = self
+        while env is not None:
+            if name in env.symbols:
+                env.symbols[name] = value
+                return
+            env = env.parent
+        # C-style: assigning an unknown global defines it here
+        self.symbols[name] = value
+
+    def call(self, name: str, args: tuple) -> Any:
+        fn = self.lookup(name)
+        if not callable(fn):
+            raise RuntimeCeuError(f"C symbol `_{name}` is not callable")
+        return fn(*args)
+
+    # ------------------------------------------------------------ defaults
+    def _install_defaults(self) -> None:
+        rng = Rand()
+        self.define_many({
+            "printf": self._printf,
+            "puts": lambda s: self.stdout.append(str(s) + "\n") or 0,
+            "assert": self._assert,
+            "abs": abs,
+            "srand": rng.srand,
+            "rand": rng.rand,
+            "RAND_MAX": Rand.RAND_MAX,
+            "time": lambda _=0: 0,  # deterministic epoch for simulations
+            "NULL": 0,
+            "rng": rng,
+        })
+
+    def _printf(self, fmt: str, *args: Any) -> int:
+        try:
+            text = _c_format(fmt, args)
+        except (TypeError, ValueError) as exc:
+            raise RuntimeCeuError(f"printf format error: {exc}") from exc
+        self.stdout.append(text)
+        return len(text)
+
+    def _assert(self, cond: Any) -> int:
+        if not cond:
+            raise CAssertionError("assertion failed")
+        return 0
+
+    # Debug / test helper
+    def output(self) -> str:
+        return "".join(self.stdout)
+
+
+def _c_format(fmt: str, args: tuple) -> str:
+    """A small printf: supports %d %i %u %s %c %x %% and width/padding via
+    Python's own formatter (enough for the paper's listings)."""
+    py_fmt = (fmt.replace("%i", "%d").replace("%u", "%d")
+              .replace("%ld", "%d").replace("%lu", "%d"))
+    out = []
+    ai = 0
+    i = 0
+    while i < len(py_fmt):
+        ch = py_fmt[i]
+        if ch == "%" and i + 1 < len(py_fmt):
+            j = i + 1
+            while j < len(py_fmt) and py_fmt[j] in "-+ 0123456789.":
+                j += 1
+            spec = py_fmt[i:j + 1]
+            kind = py_fmt[j] if j < len(py_fmt) else "%"
+            if kind == "%":
+                out.append("%")
+            elif ai < len(args):
+                arg = args[ai]
+                ai += 1
+                if kind == "c" and isinstance(arg, int):
+                    arg = chr(arg)
+                out.append(spec % (arg,))
+            i = j + 1
+            continue
+        out.append(ch)
+        i += 1
+    return "".join(out)

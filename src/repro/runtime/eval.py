@@ -1,0 +1,219 @@
+"""Expression evaluation and lvalue resolution for the reference VM."""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..lang import ast
+from ..lang.errors import RuntimeCeuError
+from ..sema.binder import BoundProgram
+from .cenv import CEnv
+from .memory import Memory
+from .values import (ItemRef, Ref, as_int, c_div, c_mod, deref_get,
+                     deref_set, truthy)
+
+
+class Evaluator:
+    """Evaluates bound expressions against program memory and the C env."""
+
+    def __init__(self, bound: BoundProgram, memory: Memory, cenv: CEnv):
+        self.bound = bound
+        self.memory = memory
+        self.cenv = cenv
+
+    # ----------------------------------------------------------- rvalues
+    def eval(self, e: ast.Exp) -> Any:
+        if isinstance(e, ast.Num):
+            return e.value
+        if isinstance(e, ast.Str):
+            return e.value
+        if isinstance(e, ast.Null):
+            return 0
+        if isinstance(e, ast.NameInt):
+            return self.memory.read(self.bound.var_of[e.nid])
+        if isinstance(e, ast.NameC):
+            return self.cenv.lookup(e.c_name)
+        if isinstance(e, ast.Unop):
+            return self._unop(e)
+        if isinstance(e, ast.Binop):
+            return self._binop(e)
+        if isinstance(e, ast.Index):
+            return self._index_get(e)
+        if isinstance(e, ast.CallExp):
+            return self.call(e)
+        if isinstance(e, ast.FieldAccess):
+            return self._field_get(e)
+        if isinstance(e, ast.Cast):
+            return self.eval(e.operand)  # casts are type-level only
+        if isinstance(e, ast.SizeOf):
+            return _sizeof(e.type)
+        raise RuntimeCeuError(f"cannot evaluate {type(e).__name__}", e.span)
+
+    def _unop(self, e: ast.Unop) -> Any:
+        if e.op == "&":
+            return self.ref(e.operand)
+        operand = self.eval(e.operand)
+        if e.op == "*":
+            return deref_get(operand)
+        if e.op == "!":
+            return 0 if truthy(operand) else 1
+        if e.op == "-":
+            return -as_int(operand, "operand of unary -")
+        if e.op == "+":
+            return as_int(operand, "operand of unary +")
+        if e.op == "~":
+            return ~as_int(operand, "operand of ~")
+        raise RuntimeCeuError(f"unknown unary operator {e.op}", e.span)
+
+    def _binop(self, e: ast.Binop) -> Any:
+        op = e.op
+        if op == "&&":
+            return 1 if (truthy(self.eval(e.left))
+                         and truthy(self.eval(e.right))) else 0
+        if op == "||":
+            return 1 if (truthy(self.eval(e.left))
+                         or truthy(self.eval(e.right))) else 0
+        left = self.eval(e.left)
+        right = self.eval(e.right)
+        if op == "==":
+            return 1 if left == right else 0
+        if op == "!=":
+            return 1 if left != right else 0
+        if op == "<":
+            return 1 if left < right else 0
+        if op == "<=":
+            return 1 if left <= right else 0
+        if op == ">":
+            return 1 if left > right else 0
+        if op == ">=":
+            return 1 if left >= right else 0
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            return c_div(left, right)
+        if op == "%":
+            return c_mod(left, right)
+        if op == "<<":
+            return as_int(left) << as_int(right)
+        if op == ">>":
+            return as_int(left) >> as_int(right)
+        if op == "&":
+            return as_int(left) & as_int(right)
+        if op == "|":
+            return as_int(left) | as_int(right)
+        if op == "^":
+            return as_int(left) ^ as_int(right)
+        raise RuntimeCeuError(f"unknown binary operator {op}", e.span)
+
+    def _index_get(self, e: ast.Index) -> Any:
+        base = self.eval(e.base)
+        idx = as_int(self.eval(e.index), "vector index")
+        if isinstance(base, str):
+            if not 0 <= idx < len(base):
+                raise RuntimeCeuError("string index out of range", e.span)
+            return ord(base[idx])
+        if isinstance(base, ItemRef):
+            # C pointer arithmetic: p[i] indexes from the pointee onwards
+            return base.seq[base.index + idx]
+        if isinstance(base, Ref):
+            base = base.get()
+        try:
+            return base[idx]
+        except (TypeError, IndexError, KeyError) as exc:
+            raise RuntimeCeuError(f"bad indexing: {exc}", e.span) from exc
+
+    def _field_get(self, e: ast.FieldAccess) -> Any:
+        base = self.eval(e.base)
+        if e.arrow and isinstance(base, Ref):
+            base = base.get()
+        if isinstance(base, dict):
+            try:
+                return base[e.name]
+            except KeyError as exc:
+                raise RuntimeCeuError(f"no field `{e.name}`", e.span) from exc
+        try:
+            return getattr(base, e.name)
+        except AttributeError as exc:
+            raise RuntimeCeuError(f"no field `{e.name}` on {base!r}",
+                                  e.span) from exc
+
+    def call(self, e: ast.CallExp) -> Any:
+        fn = self.eval(e.func)
+        args = tuple(self.eval(a) for a in e.args)
+        if not callable(fn):
+            raise RuntimeCeuError(f"calling non-function {fn!r}", e.span)
+        return fn(*args)
+
+    # ----------------------------------------------------------- lvalues
+    def ref(self, e: ast.Exp) -> Ref:
+        """`&exp` — a pointer to the storage of an lvalue expression."""
+        if isinstance(e, ast.NameInt):
+            return self.memory.ref(self.bound.var_of[e.nid])
+        if isinstance(e, ast.NameC):
+            return self.cenv.ref(e.c_name)
+        if isinstance(e, ast.Index):
+            base = self.eval(e.base)
+            if isinstance(base, Ref):
+                base = base.get()
+            idx = as_int(self.eval(e.index), "vector index")
+            if isinstance(base, list):
+                return ItemRef(base, idx)
+            raise RuntimeCeuError("cannot take address of that element",
+                                  e.span)
+        if isinstance(e, ast.Unop) and e.op == "*":
+            ptr = self.eval(e.operand)
+            if isinstance(ptr, Ref):
+                return ptr
+            raise RuntimeCeuError("cannot take address through non-pointer",
+                                  e.span)
+        raise RuntimeCeuError("expression is not addressable", e.span)
+
+    def assign(self, target: ast.Exp, value: Any) -> None:
+        if isinstance(target, ast.NameInt):
+            self.memory.write(self.bound.var_of[target.nid], value)
+            return
+        if isinstance(target, ast.NameC):
+            self.cenv.assign(target.c_name, value)
+            return
+        if isinstance(target, ast.Unop) and target.op == "*":
+            deref_set(self.eval(target.operand), value)
+            return
+        if isinstance(target, ast.Index):
+            base = self.eval(target.base)
+            idx = as_int(self.eval(target.index), "vector index")
+            if isinstance(base, ItemRef):
+                base.seq[base.index + idx] = value
+                return
+            if isinstance(base, Ref):
+                base = base.get()
+            try:
+                base[idx] = value
+            except (TypeError, IndexError, KeyError) as exc:
+                raise RuntimeCeuError(f"bad element assignment: {exc}",
+                                      target.span) from exc
+            return
+        if isinstance(target, ast.FieldAccess):
+            base = self.eval(target.base)
+            if target.arrow and isinstance(base, Ref):
+                base = base.get()
+            if isinstance(base, dict):
+                base[target.name] = value
+            else:
+                setattr(base, target.name, value)
+            return
+        raise RuntimeCeuError("invalid assignment target", target.span)
+
+
+_SIZES = {"char": 1, "u8": 1, "s8": 1, "u16": 2, "s16": 2, "short": 2,
+          "int": 4, "u32": 4, "s32": 4, "long": 4, "u64": 8, "s64": 8,
+          "void": 1}
+
+
+def _sizeof(t: ast.TypeRef) -> int:
+    if t.pointers:
+        return 2  # 16-bit target platforms (§1)
+    return _SIZES.get(t.name, 4)

@@ -1,0 +1,52 @@
+"""Program memory for the reference VM.
+
+Céu is fully static: every variable has exactly one live instance (§4.2).
+Memory is therefore a flat map ``VarSymbol → value``.  Vectors are Python
+lists created at declaration.  Re-entering a block (a new loop iteration)
+re-runs declarations, which simply re-initialises the slot — mirroring the
+slot-reuse behaviour of the static layout.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..lang.errors import RuntimeCeuError
+from ..sema.symbols import VarSymbol
+from .values import CellRef, Ref
+
+
+def default_value(sym: VarSymbol) -> Any:
+    if sym.is_array:
+        return [0] * (sym.array_size or 0)
+    return 0
+
+
+class Memory:
+    """Flat variable store with pointer (`&var`) support."""
+
+    def __init__(self) -> None:
+        self._slots: dict[VarSymbol, Any] = {}
+
+    def declare(self, sym: VarSymbol) -> None:
+        self._slots[sym] = default_value(sym)
+
+    def read(self, sym: VarSymbol) -> Any:
+        try:
+            return self._slots[sym]
+        except KeyError:
+            raise RuntimeCeuError(
+                f"variable `{sym.name}` read before its declaration "
+                f"executed") from None
+
+    def write(self, sym: VarSymbol, value: Any) -> None:
+        self._slots[sym] = value
+
+    def ref(self, sym: VarSymbol) -> Ref:
+        if sym not in self._slots:
+            self.declare(sym)
+        return CellRef(self._slots, sym)
+
+    def snapshot(self) -> dict[str, Any]:
+        """Debug view: name → value (later declarations shadow earlier)."""
+        return {sym.name: value for sym, value in self._slots.items()}

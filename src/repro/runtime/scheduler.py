@@ -1,0 +1,513 @@
+"""The reaction engine (§2 execution model, §4.5 API).
+
+The scheduler exposes the paper's four-entry C API:
+
+* :meth:`go_init`  — boot reaction;
+* :meth:`go_event` — one reaction chain for one external input event;
+* :meth:`go_time`  — advance wall-clock time, running one reaction chain
+  per expiring deadline (residual-delta semantics of §2.3);
+* :meth:`go_async` — one round-robin step of one ``async`` block, whose
+  emits tail-call back into ``go_event``/``go_time`` (§4.5).
+
+Within a reaction chain, runnable items live in a single priority queue.
+Normal awakenings run first; rejoin/termination continuations of parallel
+compositions and loops run later, **the outer the construct, the lower the
+priority** (§4.1) — the glitch-avoidance order of the paper's flow graph.
+Internal events are *not* queued: an ``emit`` runs its awaiting trails to
+halt synchronously and only then resumes the emitter — the stack policy of
+§2.2, realised here directly on the Python call stack.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from typing import Any, Callable, Optional
+
+from ..lang import ast
+from ..lang.errors import RuntimeCeuError
+from ..sema.binder import BoundProgram
+from ..sema.symbols import EventSymbol
+from .asyncs import AsyncInterp, AsyncJob
+from .cenv import CEnv
+from .eval import Evaluator
+from .interp import Interp
+from .memory import Memory
+from .trace import Trace
+from .trails import BreakSignal, EscapeJoin, Join, ReturnSignal, Trail
+
+#: status codes, mirroring the paper's C API returns
+RUNNING = "running"
+TERMINATED = "terminated"
+
+
+class Scheduler:
+    """Executes one Céu program."""
+
+    def __init__(self, bound: BoundProgram, cenv: Optional[CEnv] = None,
+                 trace: Optional[Trace] = None,
+                 step_limit: int = 5_000_000,
+                 compensate_deltas: bool = True,
+                 glitch_free: bool = True):
+        self.bound = bound
+        #: ablation switches (§2.3 residual deltas, §4.1 join priorities);
+        #: both default to the paper's design — disabling them reproduces
+        #: the failure modes the paper designs against
+        self.compensate_deltas = compensate_deltas
+        self.glitch_free = glitch_free
+        self.memory = Memory()
+        self.cenv = cenv if cenv is not None else CEnv()
+        self.ev = Evaluator(bound, self.memory, self.cenv)
+        self.interp = Interp(bound, self.ev, self)
+        self.async_interp = AsyncInterp(bound, self.ev)
+        self.trace = trace if trace is not None else Trace(enabled=False)
+
+        self.clock = 0                     # wall-clock, microseconds
+        self.done = False
+        self.result: Any = None
+        self.reaction_count = 0
+        self.steps_executed = 0
+        self.step_limit = step_limit
+
+        # awaiting registries ("gates", §4.3)
+        self.ext_waiting: dict[str, list[Trail]] = {}
+        self.int_waiting: dict[str, list[Trail]] = {}
+        self.forever: list[Trail] = []
+        self.timers: list[tuple[int, int, Trail]] = []   # heap
+        self.async_jobs: deque[AsyncJob] = deque()
+        self.input_queue: deque[tuple[str, Any]] = deque()
+        self.output_handler: Optional[Callable[[str, Any], None]] = None
+
+        # reaction-chain state
+        self._heap: list = []
+        self._seq = itertools.count()
+        self._region_seq = itertools.count(1)
+        self._reacting = False
+        self._current_base = 0
+        self._live: set[Trail] = set()
+        self.root: Optional[Trail] = None
+
+        self._depth = self._compute_depths()
+
+    # ------------------------------------------------------------ prepass
+    def _compute_depths(self) -> dict[int, int]:
+        depth: dict[int, int] = {}
+
+        def walk(node: ast.Node, d: int) -> None:
+            depth[node.nid] = d
+            nested = d + 1 if isinstance(
+                node, (ast.ParStmt, ast.Loop, ast.DoBlock,
+                       ast.AsyncBlock)) else d
+            for child in node.children():
+                walk(child, nested)
+
+        walk(self.bound.program, 0)
+        return depth
+
+    def depth(self, node: Optional[ast.Node]) -> int:
+        if node is None:
+            return 0
+        return self._depth.get(node.nid, 0)
+
+    # ---------------------------------------------------------- public API
+    def go_init(self) -> str:
+        """Boot reaction (``ceu_go_init``)."""
+        if self.root is not None:
+            raise RuntimeCeuError("program already initialised")
+        trail = Trail(gen=None, path=(), parent_join=None, label="main")
+        trail.gen = self.interp.trail_body(self.bound.program.body, trail)
+        self.root = trail
+        self._live.add(trail)
+        self._react("boot", None,
+                    lambda: self._enqueue_resume(trail, None))
+        return TERMINATED if self.done else RUNNING
+
+    def go_event(self, name: str, value: Any = None) -> str:
+        """One reaction chain for input event ``name`` (``ceu_go_event``)."""
+        if self.done:
+            return TERMINATED
+        sym = self.bound.events.get(name)
+        if sym is None or sym.kind != "input":
+            raise RuntimeCeuError(f"`{name}` is not a declared input event")
+
+        def seed() -> None:
+            waiting = self.ext_waiting.get(name, [])
+            self.ext_waiting[name] = []
+            for trail in waiting:
+                if trail.alive:
+                    self._enqueue_resume(trail, value)
+
+        self._react(f"event:{name}", value, seed)
+        return TERMINATED if self.done else RUNNING
+
+    def go_time(self, now: int) -> str:
+        """Advance wall-clock time to ``now`` µs (``ceu_go_time``).
+
+        Runs one reaction chain per expiring *logical* deadline; deadlines
+        chain (`await 10ms; await 1ms` expires at 10 and 11 ms regardless
+        of how late ``go_time`` is called), reproducing the residual-delta
+        handling of §2.3.
+        """
+        if self.done:
+            return TERMINATED
+        if now < self.clock:
+            raise RuntimeCeuError(
+                f"time goes backwards ({now} < {self.clock})")
+        self.clock = now
+        while not self.done:
+            deadline = self._next_deadline()
+            if deadline is None or deadline > now:
+                break
+            batch: list[tuple[int, Trail]] = []
+            while self.timers and self.timers[0][0] == deadline:
+                _, seq, trail = heapq.heappop(self.timers)
+                if trail.alive and trail.waiting == "time":
+                    batch.append((seq, trail))
+            delta = now - deadline
+
+            def seed(batch=batch, delta=delta) -> None:
+                for _, trail in sorted(batch):
+                    self._enqueue_resume(trail, delta)
+
+            self._react("time", deadline, seed, base=deadline)
+        return TERMINATED if self.done else RUNNING
+
+    def advance_time(self, us: int) -> str:
+        """Convenience: ``go_time(clock + us)``."""
+        return self.go_time(self.clock + us)
+
+    def go_async(self) -> str:
+        """One async step (``ceu_go_async``): a single loop iteration or a
+        single emit of the current job, round-robin across jobs."""
+        if self.done:
+            return TERMINATED
+        if self.input_queue:
+            # asynchronous code cannot run with pending inputs (§2.7)
+            self.flush_inputs()
+            return TERMINATED if self.done else RUNNING
+        job = self._next_job()
+        if job is None:
+            return RUNNING
+        try:
+            req = next(job.gen)
+        except StopIteration as stop:
+            self._complete_async(job, stop.value)
+            return TERMINATED if self.done else RUNNING
+        kind = req[0]
+        if kind == "emit_ext":
+            _, sym, value = req
+            if job.aborted:
+                return RUNNING
+            self.go_event(sym.name, value)
+        elif kind == "emit_time":
+            if not job.aborted:
+                self.go_time(self.clock + req[1])
+        # "tick": nothing — one loop iteration consumed
+        if not job.aborted and not job.done:
+            self._rotate_job(job)
+        return TERMINATED if self.done else RUNNING
+
+    # input queue (events arriving while a reaction runs / DES platforms)
+    def queue_input(self, name: str, value: Any = None) -> None:
+        self.input_queue.append((name, value))
+
+    def flush_inputs(self) -> None:
+        while self.input_queue and not self.done:
+            name, value = self.input_queue.popleft()
+            self.go_event(name, value)
+
+    def has_work(self) -> bool:
+        """Anything left that could run without external stimulus?"""
+        return bool(self.input_queue or self.async_jobs) and not self.done
+
+    def awaiting_count(self) -> int:
+        ext = sum(1 for lst in self.ext_waiting.values()
+                  for t in lst if t.alive)
+        internal = sum(1 for lst in self.int_waiting.values()
+                       for t in lst if t.alive)
+        timers = sum(1 for _, _, t in self.timers
+                     if t.alive and t.waiting == "time")
+        forever = sum(1 for t in self.forever if t.alive)
+        return ext + internal + timers + forever
+
+    def next_deadline(self) -> Optional[int]:
+        """Earliest pending wall-clock deadline (for platform drivers)."""
+        return self._next_deadline()
+
+    # ------------------------------------------------------ reaction chain
+    def _react(self, trigger: str, value: Any, seed: Callable[[], None],
+               base: Optional[int] = None) -> None:
+        if self._reacting:
+            raise RuntimeCeuError(
+                "reaction chains must not be interleaved (§4.5)")
+        if self.done:
+            return
+        self._reacting = True
+        self._current_base = self.clock if base is None else base
+        self.reaction_count += 1
+        self.trace.begin(trigger, value, self._current_base)
+        self._steps_this_reaction = 0
+        try:
+            seed()
+            while self._heap and not self.done:
+                _, _, kind, payload = heapq.heappop(self._heap)
+                if kind == "resume":
+                    trail, send_value = payload
+                    if trail.alive:
+                        self._run_trail(trail, send_value)
+                elif kind == "join":
+                    self._dispatch_join(payload)
+                else:  # escape
+                    self._dispatch_escape(payload)
+        finally:
+            self._heap.clear()
+            self._reacting = False
+            self.trace.end()
+        self._check_termination()
+
+    def _enqueue_resume(self, trail: Trail, value: Any) -> None:
+        heapq.heappush(self._heap,
+                       ((0, 0), next(self._seq), "resume", (trail, value)))
+
+    def _enqueue_join(self, join: Join) -> None:
+        prio = (1, -self.depth(join.node)) if self.glitch_free else (0, 0)
+        heapq.heappush(self._heap, (prio, next(self._seq), "join", join))
+
+    def _enqueue_escape(self, trail: Trail, signal: Exception) -> None:
+        if isinstance(signal, BreakSignal):
+            target_depth = self.depth(signal.target)
+        else:
+            boundary = signal.boundary  # type: ignore[attr-defined]
+            target_depth = self.depth(boundary)
+        prio = (1, -target_depth) if self.glitch_free else (0, 0)
+        heapq.heappush(self._heap, (prio, next(self._seq), "escape",
+                                    EscapeJoin(trail, signal)))
+
+    def _dispatch_join(self, join: Join) -> None:
+        if join.cancelled or not join.owner.alive:
+            return
+        if join.mode == "or" or join.has_value:
+            self.kill_region(join.region)
+        value = join.value if join.has_value else 0
+        self._run_trail(join.owner, ("done", value))
+
+    def _dispatch_escape(self, ej: EscapeJoin) -> None:
+        if ej.cancelled:
+            return
+        join = ej.trail.parent_join
+        if join is None:  # pragma: no cover - guarded at enqueue time
+            return
+        self.kill_region(join.region)
+        owner = join.owner
+        if owner.alive:
+            self._run_trail(owner, ("escape", ej.signal))
+
+    # --------------------------------------------------------- trail steps
+    def _run_trail(self, trail: Trail, value: Any) -> None:
+        """Run one trail until it halts (one atomic *track*, §4.4)."""
+        trail.waiting = None
+        trail.time_base = self._current_base
+        try:
+            if not trail.started:
+                trail.started = True
+                req = next(trail.gen)
+            else:
+                req = trail.gen.send(value)
+        except StopIteration:
+            self._trail_completed(trail)
+            return
+        except (BreakSignal, ReturnSignal) as sig:
+            self._trail_signal(trail, sig)
+            return
+        self._register(trail, req)
+
+    def _register(self, trail: Trail, req: tuple) -> None:
+        kind = req[0]
+        trail.waiting = kind
+        if kind == "ext":
+            self.ext_waiting.setdefault(req[1].name, []).append(trail)
+        elif kind == "int":
+            self.int_waiting.setdefault(req[1].name, []).append(trail)
+        elif kind == "time":
+            timeout = req[1]
+            if timeout < 0:
+                raise RuntimeCeuError("negative timeout")
+            base = trail.time_base if self.compensate_deltas else self.clock
+            deadline = base + timeout
+            heapq.heappush(self.timers,
+                           (deadline, next(self._seq), trail))
+            # an already-late deadline is picked up by the next go_time
+        elif kind == "forever":
+            self.forever.append(trail)
+        elif kind in ("par", "async"):
+            pass  # join/job structures hold the owner
+        else:  # pragma: no cover - interpreter invariant
+            raise RuntimeCeuError(f"unknown suspension {kind!r}")
+
+    def _trail_completed(self, trail: Trail) -> None:
+        trail.alive = False
+        self._live.discard(trail)
+        join = trail.parent_join
+        if join is None:
+            return  # root trail finished; liveness check decides the rest
+        if join.mode == "and":
+            if join.branch_done(trail.branch_index):
+                self._enqueue_join(join)
+        elif join.mode == "or":
+            join.branch_done(trail.branch_index)
+            if not join.or_enqueued:
+                join.or_enqueued = True
+                self._enqueue_join(join)
+        # plain `par` never rejoins: the trail simply dies
+
+    def _trail_signal(self, trail: Trail, sig: Exception) -> None:
+        trail.alive = False
+        self._live.discard(trail)
+        join = trail.parent_join
+        if join is None:
+            if isinstance(sig, ReturnSignal):
+                self._terminate(sig.value)
+                return
+            raise RuntimeCeuError("`break` escaped the program")
+        if isinstance(sig, ReturnSignal) and sig.boundary is join.node:
+            # `return` from a value-parallel: completes the whole par
+            if not join.has_value:
+                join.has_value = True
+                join.value = sig.value
+            if not join.or_enqueued:
+                join.or_enqueued = True
+                self._enqueue_join(join)
+            return
+        self._enqueue_escape(trail, sig)
+
+    # ------------------------------------------------------------- regions
+    def spawn_par(self, node: ast.ParStmt, owner: Trail) -> Join:
+        region = owner.path + (next(self._region_seq),)
+        join = Join(node=node, mode=node.mode, owner=owner, region=region,
+                    depth=self.depth(node), n_branches=len(node.blocks))
+        for i, block in enumerate(node.blocks):
+            label = f"{owner.label}.{i + 1}" if owner.label != "main" \
+                else f"trail{i + 1}"
+            child = Trail(gen=None, path=region + (i,), parent_join=join,
+                          branch_index=i, label=label)
+            child.gen = self.interp.trail_body(block, child)
+            self._live.add(child)
+            self._enqueue_resume(child, None)
+        return join
+
+    def kill_region(self, prefix: tuple) -> None:
+        """Destroy every trail/async in ``prefix`` — the VM analogue of
+        clearing a contiguous gate range with ``memset`` (§4.3)."""
+        victims = [t for t in self._live if t.in_region(prefix)]
+        for trail in victims:
+            trail.alive = False
+            self._live.discard(trail)
+            trail.gen.close()
+        if self.async_jobs:
+            kept = deque()
+            for job in self.async_jobs:
+                if job.in_region(prefix):
+                    job.aborted = True
+                else:
+                    kept.append(job)
+            self.async_jobs = kept
+        for item in self._heap:
+            if item[2] == "escape" and item[3].trail.in_region(prefix):
+                item[3].cancelled = True
+            elif item[2] == "join" and item[3].owner.in_region(prefix):
+                item[3].cancelled = True
+
+    # ------------------------------------------------------ internal events
+    def emit_internal(self, sym: EventSymbol, value: Any,
+                      emitter: Trail) -> None:
+        """Stack policy (§2.2): run every awaiting trail to halt *now*,
+        then return control to the emitter (the Python call stack is the
+        emit stack)."""
+        self.trace.emit_internal(sym.name)
+        waiting = self.int_waiting.get(sym.name)
+        if not waiting:
+            return  # no one awaiting: the occurrence is discarded
+        self.int_waiting[sym.name] = []
+        for trail in waiting:
+            if trail.alive and trail.waiting == "int":
+                self._run_trail(trail, value)
+
+    def emit_output(self, sym: EventSymbol, value: Any) -> None:
+        if self.output_handler is not None:
+            self.output_handler(sym.name, value)
+
+    # -------------------------------------------------------------- asyncs
+    def spawn_async(self, node: ast.AsyncBlock, owner: Trail) -> AsyncJob:
+        job = AsyncJob(node, owner, self.async_interp.run(node))
+        self.async_jobs.append(job)
+        return job
+
+    def _next_job(self) -> Optional[AsyncJob]:
+        while self.async_jobs:
+            job = self.async_jobs[0]
+            if job.aborted or job.done:
+                self.async_jobs.popleft()
+                continue
+            return job
+        return None
+
+    def _rotate_job(self, job: AsyncJob) -> None:
+        if self.async_jobs and self.async_jobs[0] is job:
+            self.async_jobs.rotate(-1)
+
+    def _complete_async(self, job: AsyncJob, value: Any) -> None:
+        job.done = True
+        job.result = value
+        if self.async_jobs and self.async_jobs[0] is job:
+            self.async_jobs.popleft()
+        if job.aborted or not job.owner.alive:
+            return
+        # completion is a synthetic input event back to the owner (§2.7)
+        self._react(f"async:{job.seq}", value,
+                    lambda: self._enqueue_resume(job.owner, value))
+
+    # ------------------------------------------------------------- helpers
+    def _next_deadline(self) -> Optional[int]:
+        while self.timers:
+            deadline, _, trail = self.timers[0]
+            if trail.alive and trail.waiting == "time":
+                return deadline
+            heapq.heappop(self.timers)
+        return None
+
+    def _terminate(self, value: Any) -> None:
+        self.done = True
+        self.result = value
+        self._heap.clear()
+        for trail in list(self._live):
+            trail.alive = False
+            trail.gen.close()
+        self._live.clear()
+        self.ext_waiting.clear()
+        self.int_waiting.clear()
+        self.forever.clear()
+        self.timers.clear()
+        for job in self.async_jobs:
+            job.aborted = True
+        self.async_jobs.clear()
+
+    def _check_termination(self) -> None:
+        if self.done:
+            return
+        if (self.awaiting_count() == 0 and not self.async_jobs
+                and not self.input_queue):
+            self.done = True
+
+    # ---------------------------------------------------------------- trace
+    def note_step(self, trail: Trail, stmt: ast.Stmt) -> None:
+        self.steps_executed += 1
+        self._steps_this_reaction = getattr(self, "_steps_this_reaction",
+                                            0) + 1
+        if self._steps_this_reaction > self.step_limit:
+            raise RuntimeCeuError(
+                "reaction chain exceeded the step limit — unbounded "
+                "execution (should have been caught by §2.5 analysis)")
+        if self.trace.enabled:
+            self.trace.step(trail.label, trail.path,
+                            type(stmt).__name__, stmt.span.start.line)

@@ -1,0 +1,94 @@
+"""Structured execution traces.
+
+The trace reproduces the diagrams of the paper (Figure 1's reaction chains,
+the §2.2 internal-event stack walk-through) and backs the determinism
+property tests: two runs fed the same input order must produce *identical*
+traces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+
+@dataclass(frozen=True, slots=True)
+class Step:
+    """One statement executed by one trail within a reaction chain."""
+
+    trail: str        # trail label
+    path: tuple       # trail spawn path
+    kind: str         # AST node class name
+    line: int         # source line
+
+    def __str__(self) -> str:
+        return f"{self.trail}:{self.kind}@{self.line}"
+
+
+@dataclass(slots=True)
+class Reaction:
+    """One reaction chain: the trigger plus every step it executed."""
+
+    index: int
+    trigger: str          # "boot" | "event:NAME" | "time" | "async:NNN"
+    value: Any = None
+    time_us: int = 0
+    steps: list[Step] = field(default_factory=list)
+    emitted_internal: list[str] = field(default_factory=list)
+    discarded: bool = False   # no trail was awaiting the trigger
+
+    def trails(self) -> list[str]:
+        seen: list[str] = []
+        for step in self.steps:
+            if step.trail not in seen:
+                seen.append(step.trail)
+        return seen
+
+    def __str__(self) -> str:
+        body = " ".join(str(s) for s in self.steps)
+        mark = " (discarded)" if self.discarded else ""
+        return f"#{self.index} {self.trigger}{mark}: {body}"
+
+
+class Trace:
+    """Recorder installed on a scheduler (``Program(..., trace=True)``)."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.reactions: list[Reaction] = []
+        self._current: Optional[Reaction] = None
+
+    # hooks called by the scheduler -----------------------------------
+    def begin(self, trigger: str, value: Any, time_us: int) -> None:
+        if not self.enabled:
+            return
+        self._current = Reaction(len(self.reactions), trigger, value,
+                                 time_us)
+        self.reactions.append(self._current)
+
+    def step(self, trail_label: str, path: tuple, kind: str,
+             line: int) -> None:
+        if self._current is not None:
+            self._current.steps.append(Step(trail_label, path, kind, line))
+
+    def emit_internal(self, name: str) -> None:
+        if self._current is not None:
+            self._current.emitted_internal.append(name)
+
+    def end(self) -> None:
+        if self._current is not None and not self._current.steps:
+            self._current.discarded = True
+        self._current = None
+
+    # reporting --------------------------------------------------------
+    def render(self) -> str:
+        return "\n".join(str(r) for r in self.reactions)
+
+    def triggers(self) -> list[str]:
+        return [r.trigger for r in self.reactions]
+
+    def signature(self) -> tuple:
+        """A hashable digest used by determinism property tests."""
+        return tuple(
+            (r.trigger, tuple((s.trail, s.kind, s.line) for s in r.steps))
+            for r in self.reactions)

@@ -1,0 +1,131 @@
+"""Value model of the reference VM.
+
+Céu's data model is C's: integers, pointers, fixed vectors, and opaque
+values produced by C calls.  The VM represents:
+
+* integers as Python ints with C-style truncating division (`c_div`,
+  `c_mod`) so expressions like ``5 * (tf-32) / 9`` match the paper;
+* ``null`` as integer ``0`` (C's NULL);
+* pointers as :class:`Ref` objects implementing a tiny get/set protocol —
+  ``&x`` produces a ref into program memory, and platform C functions may
+  hand out refs into their own buffers (``_Radio_getPayload``);
+* strings as Python strings; indexing a string yields the character code,
+  matching C's ``char`` semantics (``_MAP[ship][step] == '#'``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..lang.errors import RuntimeCeuError
+
+
+class Ref:
+    """Abstract mutable cell — the VM's pointer."""
+
+    __slots__ = ()
+
+    def get(self) -> Any:
+        raise NotImplementedError
+
+    def set(self, value: Any) -> None:
+        raise NotImplementedError
+
+
+class CellRef(Ref):
+    """Pointer to a slot in a dict-like store (program memory, C globals)."""
+
+    __slots__ = ("store", "key")
+
+    def __init__(self, store, key):
+        self.store = store
+        self.key = key
+
+    def get(self) -> Any:
+        return self.store[self.key]
+
+    def set(self, value: Any) -> None:
+        self.store[self.key] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"&{self.key}"
+
+
+class ItemRef(Ref):
+    """Pointer to an element of a Python list (a Céu vector slot)."""
+
+    __slots__ = ("seq", "index")
+
+    def __init__(self, seq: list, index: int):
+        self.seq = seq
+        self.index = index
+
+    def get(self) -> Any:
+        return self.seq[self.index]
+
+    def set(self, value: Any) -> None:
+        self.seq[self.index] = value
+
+
+class FuncRef(Ref):
+    """Pointer backed by explicit getter/setter callables — lets platform
+    code expose device registers as pointers."""
+
+    __slots__ = ("getter", "setter")
+
+    def __init__(self, getter: Callable[[], Any],
+                 setter: Callable[[Any], None]):
+        self.getter = getter
+        self.setter = setter
+
+    def get(self) -> Any:
+        return self.getter()
+
+    def set(self, value: Any) -> None:
+        self.setter(value)
+
+
+def deref_get(value: Any) -> Any:
+    if isinstance(value, Ref):
+        return value.get()
+    raise RuntimeCeuError(f"cannot dereference non-pointer value {value!r}")
+
+
+def deref_set(value: Any, new: Any) -> None:
+    if isinstance(value, Ref):
+        value.set(new)
+        return
+    raise RuntimeCeuError(f"cannot assign through non-pointer value "
+                          f"{value!r}")
+
+
+def truthy(value: Any) -> bool:
+    """C truthiness: nonzero / non-null."""
+    if value is None:
+        return False
+    if isinstance(value, (int, float)):
+        return value != 0
+    return True
+
+
+def c_div(a: int, b: int) -> int:
+    """C integer division (truncates toward zero)."""
+    if b == 0:
+        raise RuntimeCeuError("division by zero")
+    q = abs(a) // abs(b)
+    return q if (a >= 0) == (b >= 0) else -q
+
+
+def c_mod(a: int, b: int) -> int:
+    """C remainder: ``a == c_div(a,b)*b + c_mod(a,b)``."""
+    if b == 0:
+        raise RuntimeCeuError("modulo by zero")
+    return a - c_div(a, b) * b
+
+
+def as_int(value: Any, what: str = "value") -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    raise RuntimeCeuError(f"{what} must be an integer, got {value!r}")

@@ -1,0 +1,5 @@
+"""Discrete-event simulation substrate (replaces the paper's testbeds)."""
+
+from .des import Rng, Simulator
+
+__all__ = ["Simulator", "Rng"]

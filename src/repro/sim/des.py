@@ -1,0 +1,101 @@
+"""Discrete-event simulation kernel.
+
+The substrate that stands in for the paper's physical testbeds (motes,
+radios, RTOS boards).  Time is integer microseconds; callbacks fire in
+deterministic ``(time, seq)`` order, so every experiment in the benchmark
+harness replays bit-identically.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Optional
+
+
+class Simulator:
+    """A classic event-calendar simulator."""
+
+    def __init__(self) -> None:
+        self.now = 0
+        self._heap: list[tuple[int, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._cancelled: set[int] = set()
+
+    def at(self, time_us: int, fn: Callable[[], None]) -> int:
+        """Schedule ``fn`` at absolute time; returns a cancellable handle."""
+        if time_us < self.now:
+            raise ValueError(f"cannot schedule in the past "
+                             f"({time_us} < {self.now})")
+        seq = next(self._seq)
+        heapq.heappush(self._heap, (time_us, seq, fn))
+        return seq
+
+    def after(self, delay_us: int, fn: Callable[[], None]) -> int:
+        return self.at(self.now + delay_us, fn)
+
+    def cancel(self, handle: int) -> None:
+        self._cancelled.add(handle)
+
+    def pending(self) -> int:
+        return len(self._heap)
+
+    def peek_time(self) -> Optional[int]:
+        while self._heap and self._heap[0][1] in self._cancelled:
+            _, seq, _ = heapq.heappop(self._heap)
+            self._cancelled.discard(seq)
+        return self._heap[0][0] if self._heap else None
+
+    def step(self) -> bool:
+        """Run the earliest callback; False when the calendar is empty."""
+        when = self.peek_time()
+        if when is None:
+            return False
+        when, seq, fn = heapq.heappop(self._heap)
+        if seq in self._cancelled:
+            self._cancelled.discard(seq)
+            return True
+        self.now = when
+        fn()
+        return True
+
+    def run_until(self, time_us: int) -> None:
+        """Run every callback scheduled strictly up to ``time_us``."""
+        while True:
+            when = self.peek_time()
+            if when is None or when > time_us:
+                break
+            self.step()
+        self.now = max(self.now, time_us)
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Run until the calendar drains (bounded against runaways)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError("simulation exceeded its event budget")
+
+
+class Rng:
+    """xorshift32 — a tiny deterministic stream, one per consumer so
+    adding a consumer never perturbs the others."""
+
+    def __init__(self, seed: int = 0x9E3779B9):
+        self.state = seed & 0xFFFFFFFF or 1
+
+    def next_u32(self) -> int:
+        x = self.state
+        x ^= (x << 13) & 0xFFFFFFFF
+        x ^= x >> 17
+        x ^= (x << 5) & 0xFFFFFFFF
+        self.state = x
+        return x
+
+    def uniform(self, lo: int, hi: int) -> int:
+        """Integer in [lo, hi]."""
+        if hi <= lo:
+            return lo
+        return lo + self.next_u32() % (hi - lo + 1)
+
+    def chance(self, p: float) -> bool:
+        return self.next_u32() < p * 4294967296.0

@@ -1,0 +1,69 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+
+import pytest
+
+from repro.dfa import build_dfa
+from repro.lang import parse
+from repro.runtime import Program
+from repro.sema import bind, check_bounded
+
+
+def bound_of(src: str):
+    return bind(parse(src))
+
+
+def checked(src: str):
+    bound = bound_of(src)
+    check_bounded(bound)
+    return bound
+
+
+def dfa_of(src: str, **kw):
+    return build_dfa(bound_of(src), **kw)
+
+
+def run_program(src: str, *actions, trace: bool = False) -> Program:
+    """Boot a program and apply (kind, ...) actions:
+    ("ev", name[, value]) | ("at", spec) | ("adv", spec)."""
+    program = Program(src, trace=trace)
+    program.start()
+    for action in actions:
+        if program.done:
+            break
+        kind = action[0]
+        if kind == "ev":
+            program.send(action[1], action[2] if len(action) > 2 else None)
+        elif kind == "at":
+            program.at(action[1])
+        elif kind == "adv":
+            program.advance(action[1])
+        else:
+            raise ValueError(action)
+    return program
+
+
+HAVE_GCC = shutil.which("gcc") is not None
+
+requires_gcc = pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
+
+
+def compile_and_run_c(src: str, script: str, tmp_path, name: str = "prog",
+                      opt: str = "-O1") -> str:
+    """Compile a Céu program through the C backend and run the driver."""
+    from repro.codegen import compile_to_c
+
+    compiled = compile_to_c(bound_of(src), name=name)
+    c_path = tmp_path / f"{name}.c"
+    c_path.write_text(compiled.code)
+    exe = tmp_path / name
+    proc = subprocess.run(["gcc", opt, "-o", str(exe), str(c_path)],
+                          capture_output=True, text=True)
+    assert proc.returncode == 0, proc.stderr
+    out = subprocess.run([str(exe)], input=script, capture_output=True,
+                         text=True, timeout=30)
+    return out.stdout

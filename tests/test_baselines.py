@@ -1,0 +1,211 @@
+"""Baseline systems: the nesC kernel + four apps, MantisOS threads, occam."""
+
+from repro.baselines import (BlinkApp, Channel, ClientApp, MantisOS,
+                             NescKernel, OccamRuntime, SenseApp, ServerApp,
+                             nesc_footprint)
+from repro.sim.des import Rng, Simulator
+
+
+class TestSimulatorKernel:
+    def test_ordering(self):
+        sim = Simulator()
+        log = []
+        sim.at(30, lambda: log.append("c"))
+        sim.at(10, lambda: log.append("a"))
+        sim.at(20, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_fifo_at_same_instant(self):
+        sim = Simulator()
+        log = []
+        sim.at(5, lambda: log.append(1))
+        sim.at(5, lambda: log.append(2))
+        sim.run()
+        assert log == [1, 2]
+
+    def test_cancel(self):
+        sim = Simulator()
+        log = []
+        handle = sim.at(10, lambda: log.append("x"))
+        sim.cancel(handle)
+        sim.run()
+        assert log == []
+
+    def test_run_until_stops(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, lambda: log.append(1))
+        sim.at(30, lambda: log.append(2))
+        sim.run_until(20)
+        assert log == [1] and sim.now == 20
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        log = []
+        sim.at(10, lambda: sim.after(5, lambda: log.append("n")))
+        sim.run()
+        assert log == ["n"] and sim.now == 15
+
+    def test_rng_deterministic_streams(self):
+        a, b = Rng(5), Rng(5)
+        assert [a.uniform(0, 100) for _ in range(20)] == \
+            [b.uniform(0, 100) for _ in range(20)]
+
+
+class TestNescApps:
+    def test_blink_toggles_three_leds(self):
+        app = BlinkApp()
+        app.boot()
+        app.run_until(2_000_000)
+        values = [v for _, v in app.leds.history]
+        assert len(values) >= 8 + 4 + 2
+        assert app.leds.history[0] == (250_000, 1)
+
+    def test_sense_reads_and_displays(self):
+        app = SenseApp()
+        app.boot()
+        app.run_until(1_000_000)
+        assert len(app.leds.history) >= 9
+        assert 0 <= app.reading <= 1023
+
+    def test_client_server_exchange(self):
+        kernel = NescKernel()
+        network = {}
+        client = ClientApp(kernel, node_id=1, server_id=0)
+        server = ServerApp(kernel, node_id=0)
+        client.radio.join(network)
+        server.radio.join(network)
+        client.boot()
+        server.boot()
+        kernel.sim.run_until(10_000_000)
+        assert server.received >= 8
+        assert client.acked >= 8
+        assert client.lost == 0
+        assert server.forwarded >= 8   # UART forwarding (basestation)
+
+    def test_client_retries_without_server(self):
+        kernel = NescKernel()
+        client = ClientApp(kernel, node_id=1, server_id=0)
+        client.radio.join({})
+        client.boot()
+        kernel.sim.run_until(5_000_000)
+        assert client.acked == 0
+        assert client.lost >= 3
+
+    def test_footprints_ordered_by_complexity(self):
+        fps = [nesc_footprint(App()) for App in
+               (BlinkApp, SenseApp, ClientApp, ServerApp)]
+        roms = [f.rom for f in fps]
+        rams = [f.ram for f in fps]
+        assert roms == sorted(roms)
+        assert rams[0] < rams[2] and rams[0] < rams[3]
+
+
+class TestMantis:
+    def test_threads_interleave(self):
+        os = MantisOS(jitter_us=0)
+
+        def worker(led):
+            for _ in range(3):
+                yield ("sleep", 100_000)
+                yield ("toggle", led)
+
+        t0 = os.spawn("a", worker(0))
+        t1 = os.spawn("b", worker(1))
+        os.run_until(1_000_000)
+        assert len(t0.toggles) == 3 and len(t1.toggles) == 3
+
+    def test_jitter_delays_sleeps(self):
+        os = MantisOS(jitter_us=5_000, seed=3)
+
+        def worker():
+            while True:
+                yield ("sleep", 100_000)
+                yield ("toggle", 0)
+
+        t = os.spawn("w", worker())
+        os.run_until(2_000_000)
+        lates = [abs(when - (i + 1) * 100_000)
+                 for i, (when, _) in enumerate(t.toggles)]
+        assert max(lates) > 0            # drift accumulates
+        assert lates == sorted(lates) or max(lates) >= lates[0]
+
+    def test_priority_receiver_preempts(self):
+        os = MantisOS(jitter_us=0)
+
+        def receiver():
+            while True:
+                yield ("recv",)
+                yield ("compute", 1_000)
+
+        def cruncher():
+            while True:
+                yield ("compute", 50_000)
+
+        rx = os.spawn("rx", receiver(), priority=0)
+        os.spawn("crunch", cruncher(), priority=5)
+        os.run_until(5_000)
+        os.radio_deliver("m1")
+        os.run_until(1_000_000)
+        assert [m for _, m in os.received] == ["m1"]
+
+    def test_compute_threads_share_cpu(self):
+        os = MantisOS(jitter_us=0)
+
+        def cruncher():
+            while True:
+                yield ("compute", 30_000)
+
+        a = os.spawn("a", cruncher())
+        b = os.spawn("b", cruncher())
+        os.run_until(1_000_000)
+        assert a.cpu_us > 0 and b.cpu_us > 0
+        assert abs(a.cpu_us - b.cpu_us) <= 60_000   # fair round robin
+
+
+class TestOccam:
+    def test_channel_rendezvous(self):
+        rt = OccamRuntime(jitter_us=0)
+        chan = Channel("c")
+        got = []
+
+        def producer():
+            for i in range(3):
+                yield ("send", chan, i)
+
+        def consumer():
+            while True:
+                value = yield ("recv", chan)
+                got.append(value)
+
+        rt.spawn("p", producer())
+        rt.spawn("c", consumer())
+        rt.run_until(1_000)
+        assert got == [0, 1, 2]
+
+    def test_delays_fire(self):
+        rt = OccamRuntime(jitter_us=0)
+
+        def blinker():
+            while True:
+                yield ("delay", 100_000)
+                yield ("toggle", 0)
+
+        p = rt.spawn("b", blinker())
+        rt.run_until(1_000_000)
+        assert len(p.toggles) == 10
+
+    def test_jittered_delays_drift(self):
+        rt = OccamRuntime(jitter_us=2_000, seed=9)
+
+        def blinker():
+            while True:
+                yield ("delay", 100_000)
+                yield ("toggle", 0)
+
+        p = rt.spawn("b", blinker())
+        rt.run_until(5_000_000)
+        last_t, _ = p.toggles[-1]
+        ideal = len(p.toggles) * 100_000
+        assert last_t > ideal            # jitter only accumulates forward

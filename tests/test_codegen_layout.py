@@ -1,0 +1,225 @@
+"""Static memory layout (§4.2) and gate allocation (§4.3)."""
+
+from repro.codegen import HOST, TARGET16, build_gates, build_layout
+from repro.lang import ast, parse
+from repro.sema import bind
+
+
+def layout_of(src: str, abi=TARGET16):
+    bound = bind(parse(src))
+    return bound, build_layout(bound, abi)
+
+
+def sym(bound, name):
+    return next(v for v in bound.variables if v.name == name)
+
+
+class TestMemoryLayout:
+    def test_scalars_packed(self):
+        bound, layout = layout_of("int a;\nint b;")
+        assert layout.offset(sym(bound, "a")) == 0
+        assert layout.offset(sym(bound, "b")) == 2
+        assert layout.total == 4
+
+    def test_vector_size(self):
+        bound, layout = layout_of("int[10] keys;")
+        assert layout.size(sym(bound, "keys")) == 20
+        assert layout.total == 20
+
+    def test_sequential_blocks_reuse(self):
+        """§4.2: statements in sequence can reuse memory."""
+        bound, layout = layout_of("""
+        input void A;
+        do
+           int a;
+           int b;
+           await A;
+        end
+        do
+           int c;
+           int d;
+           await A;
+        end
+        """)
+        assert layout.offset(sym(bound, "a")) == layout.offset(
+            sym(bound, "c"))
+        assert layout.overlaps(sym(bound, "a"), sym(bound, "c"))
+        assert layout.total == 4
+
+    def test_parallel_trails_coexist(self):
+        """§4.2: memory for trails in parallel must coexist."""
+        bound, layout = layout_of("""
+        input void A;
+        par/and do
+           int a;
+           await A;
+        with
+           int b;
+           await A;
+        end
+        """)
+        assert not layout.overlaps(sym(bound, "a"), sym(bound, "b"))
+        assert layout.total == 4
+
+    def test_guiding_example_reuse_after_loop(self):
+        """§4.2: the code after the loop reuses all loop memory."""
+        bound, layout = layout_of("""
+        input int A, B, C;
+        int ret;
+        loop do
+           par/or do
+              int a = await A;
+              int b = await B;
+              ret = a + b;
+              break;
+           with
+              await C;
+           end
+        end
+        int after;
+        after = 0;
+        """)
+        a = sym(bound, "a")
+        after = sym(bound, "after")
+        # hoisted block vars precede nested regions; the loop's inner slots
+        # and `after` may share the region above the top-level vars
+        assert layout.offset(a) >= layout.offset(after)
+
+    def test_if_branches_share(self):
+        bound, layout = layout_of("""
+        int c;
+        if c then
+           int a;
+           a = 1;
+        else
+           int b;
+           b = 2;
+        end
+        """)
+        assert layout.offset(sym(bound, "a")) == layout.offset(
+            sym(bound, "b"))
+
+    def test_abi_sizes(self):
+        bound16, l16 = layout_of("int a;\nu8 b;\nu32 c;", TARGET16)
+        assert l16.size(sym(bound16, "a")) == 2
+        assert l16.size(sym(bound16, "b")) == 1
+        assert l16.size(sym(bound16, "c")) == 4
+        bound_h, lh = layout_of("int a;", HOST)
+        assert lh.size(sym(bound_h, "a")) == 4
+
+    def test_pointer_sizes(self):
+        bound, layout = layout_of("int* p;", TARGET16)
+        assert layout.size(sym(bound, "p")) == 2
+
+    def test_alignment(self):
+        bound, layout = layout_of("u8 a;\nint b;", TARGET16)
+        assert layout.offset(sym(bound, "b")) % 2 == 0
+
+
+class TestGateAllocation:
+    def test_one_gate_per_await(self):
+        bound = bind(parse("""
+        input int A, B;
+        await A;
+        await B;
+        await A;
+        """))
+        gates = build_gates(bound)
+        assert gates.count == 3
+        assert len(gates.by_event["A"]) == 2
+        assert len(gates.by_event["B"]) == 1
+
+    def test_guiding_example_four_gates(self):
+        """§4.3: one gate per await; event A owns a 2-gate list."""
+        bound = bind(parse("""
+        input int A, B, C;
+        int ret;
+        loop do
+           par/or do
+              int a = await A;
+              int b = await B;
+              ret = a + b;
+              break;
+           with
+              par/and do
+                 await C;
+              with
+                 await A;
+              end
+           end
+        end
+        """))
+        gates = build_gates(bound)
+        await_gates = [g for g in gates.gates
+                       if g.kind in ("ext", "intl", "time", "forever")]
+        assert len(await_gates) == 4
+        assert len(gates.by_event["A"]) == 2
+
+    def test_par_branch_ranges_contiguous(self):
+        bound = bind(parse("""
+        input void A, B, C, D;
+        par/or do
+           await A;
+           await B;
+        with
+           await C;
+           await D;
+        end
+        """))
+        gates = build_gates(bound)
+        par = next(n for n in bound.program.walk()
+                   if isinstance(n, ast.ParStmt))
+        ranges = gates.branch_ranges[par.nid]
+        assert len(ranges) == 2
+        (lo1, hi1), (lo2, hi2) = ranges
+        assert hi1 - lo1 == 1 and hi2 - lo2 == 1
+        assert lo2 == hi1 + 1          # contiguous across branches
+        lo, hi = gates.kill_range(par.nid)
+        assert (lo, hi) == (lo1, hi2)
+
+    def test_nested_par_inside_outer_range(self):
+        bound = bind(parse("""
+        input void A, B, C;
+        par/or do
+           par/and do
+              await A;
+           with
+              await B;
+           end
+        with
+           await C;
+        end
+        """))
+        gates = build_gates(bound)
+        pars = [n for n in bound.program.walk()
+                if isinstance(n, ast.ParStmt)]
+        outer = next(p for p in pars if p.mode == "or")
+        inner = next(p for p in pars if p.mode == "and")
+        olo, ohi = gates.kill_range(outer.nid)
+        ilo, ihi = gates.kill_range(inner.nid)
+        assert olo <= ilo and ihi <= ohi
+        # the inner join gate must also fall inside the outer kill range
+        join = gates.join_gate[inner.nid]
+        assert olo <= join.id <= ohi
+
+    def test_escape_gate_only_when_crossing(self):
+        bound = bind(parse("""
+        input void A;
+        loop do
+           await A;
+           break;
+        end
+        loop do
+           par do
+              await A;
+              break;
+           with
+              await forever;
+           end
+        end
+        """))
+        gates = build_gates(bound)
+        breaks = [n for n in bound.program.walk()
+                  if isinstance(n, ast.Break)]
+        assert breaks[0].nid not in gates.escape_gate
+        assert breaks[1].nid in gates.escape_gate

@@ -1,0 +1,199 @@
+"""The public facade (`repro.core`), traces, and the bundled applications."""
+
+import pytest
+
+from repro.apps import load, names
+from repro.core import analyze, compile_source, run
+from repro.flow import build_flow
+from repro.lang import parse
+from repro.lang.errors import NondeterminismError
+from repro.runtime import Program
+from repro.sema import bind
+
+
+class TestCoreApi:
+    def test_run_one_shot(self):
+        program = run("input int X;\nint v = await X;\nreturn v + 1;",
+                      events=[("X", 41)])
+        assert program.done and program.result == 42
+
+    def test_run_with_time_markers(self):
+        program = run("""
+        int n = 0;
+        par/or do
+           loop do
+              await 10ms;
+              n = n + 1;
+           end
+        with
+           await 100ms;
+        end
+        return n;
+        """, until="1s")
+        # the 10th tick shares the 100ms reaction with the watchdog; the
+        # VM's canonical order runs the increment before the or-join kill
+        # (this is the §2.6 refused example — `run` skips the analysis)
+        assert program.result == 10
+
+    def test_analyze_refuses_nondeterminism(self):
+        with pytest.raises(NondeterminismError):
+            analyze("int v;\npar/and do\nv = 1;\nwith\nv = 2;\nend")
+
+    def test_analyze_opt_out(self):
+        unit = analyze("int v;\npar/and do\nv = 1;\nwith\nv = 2;\nend",
+                       check_determinism=False)
+        assert unit.dfa is None
+
+    def test_unit_artifacts(self):
+        unit = compile_source("input void A;\nloop do\nawait A;\nend")
+        assert unit.flow_graph().await_nodes()
+        assert unit.memory_layout().total == 0
+        assert unit.gate_table().count == 1
+        assert "ceu_go_event" in unit.to_c().code
+
+    def test_instantiate_fresh_programs(self):
+        unit = compile_source("input int X;\nint v = await X;\nreturn v;")
+        p1 = unit.instantiate()
+        p2 = unit.instantiate()
+        p1.start()
+        p1.send("X", 1)
+        p2.start()
+        p2.send("X", 2)
+        assert (p1.result, p2.result) == (1, 2)
+
+
+class TestTraces:
+    def test_reaction_indices_and_triggers(self):
+        p = Program("""
+        input void A;
+        loop do
+           await A;
+        end
+        """, trace=True)
+        p.start()
+        p.send("A")
+        p.advance("1ms")
+        triggers = p.trace.triggers()
+        assert triggers[0] == "boot"
+        assert triggers[1] == "event:A"
+
+    def test_discarded_flag(self):
+        p = Program("input void A, B;\nawait B;", trace=True)
+        p.start()
+        p.send("A")
+        assert p.trace.reactions[1].discarded
+
+    def test_internal_emissions_recorded(self):
+        p = Program("""
+        input void Go;
+        internal void e;
+        par/or do
+           await e;
+        with
+           await Go;
+           emit e;
+        end
+        """, trace=True)
+        p.start()
+        p.send("Go")
+        assert "e" in p.trace.reactions[1].emitted_internal
+
+    def test_signature_stable(self):
+        def one():
+            p = Program("input void A;\nint v;\nloop do\nawait A;"
+                        "\nv = v + 1;\nend", trace=True)
+            p.start()
+            p.send("A")
+            return p.trace.signature()
+
+        assert one() == one()
+
+    def test_render_readable(self):
+        p = Program("input void A;\nawait A;", trace=True)
+        p.start()
+        text = p.trace.render()
+        assert "#0 boot" in text
+
+
+class TestBundledApps:
+    def test_all_apps_parse_and_bind(self):
+        for name in names():
+            if name == "mario_game":
+                continue   # a fragment: its events live in the environment
+            bind(parse(load(name)))
+
+    @pytest.mark.parametrize("app", ["blink", "blink2", "sense", "client",
+                                     "server", "ring", "ship"])
+    def test_static_analyses_accept(self, app):
+        unit = analyze(load(app))
+        assert unit.dfa is not None and unit.dfa.deterministic
+
+    def test_blink_runs(self):
+        toggles = {0: 0, 1: 0, 2: 0}
+        p = Program(load("blink"))
+        for bit in range(3):
+            p.cenv.define(f"Leds_led{bit}Toggle",
+                          lambda b=bit: toggles.__setitem__(
+                              b, toggles[b] + 1))
+        p.start()
+        p.at("2s")
+        assert toggles == {0: 8, 1: 4, 2: 2}
+
+    def test_sense_runs(self):
+        readings = []
+        p = Program(load("sense"))
+        p.cenv.define("Sensor_read", lambda: 0)
+        p.cenv.define("Leds_set", lambda v: readings.append(v))
+        p.start()
+        for _ in range(5):
+            p.advance("100ms")
+            p.send("ReadDone", 640)
+        assert readings == [5] * 5
+
+    def test_client_server_over_vm(self):
+        """Run the Céu client against the Céu server through a tiny
+        hand-rolled radio shim."""
+        client = Program(load("client"))
+        server = Program(load("server"))
+        mailbox = []
+
+        def make_env(prog, other_name):
+            def send(dest, msg):
+                from repro.platforms.tinyos import coerce_message
+                mailbox.append((other_name, coerce_message(msg).copy()))
+                return 0
+            return send
+
+        from repro.platforms.tinyos import radio_get_payload
+        client.cenv.define_many({
+            "SERVER_ID": 0, "Radio_getPayload": radio_get_payload,
+            "Radio_send": make_env(client, "server"),
+            "Leds_set": lambda v: 0})
+        server.cenv.define_many({
+            "CLIENT_ID": 1, "Radio_getPayload": radio_get_payload,
+            "Radio_send": make_env(server, "client"),
+            "Leds_set": lambda v: 0})
+        client.start()
+        server.start()
+        for _ in range(3):
+            client.advance("1s")
+            # flush the radio both ways
+            for _ in range(4):
+                if not mailbox:
+                    break
+                target, msg = mailbox.pop(0)
+                (server if target == "server" else client).send(
+                    "Radio_receive", msg)
+        snap = client.sched.memory.snapshot()
+        assert snap["acked"] == 3 and snap["lost"] == 0
+
+    def test_mario_game_core_requires_environment(self):
+        # the game core alone references events the environment declares
+        from repro.lang.errors import BindError
+        with pytest.raises(BindError):
+            bind(parse(load("mario_game")))
+
+    def test_flow_graphs_build_for_all_apps(self):
+        for name in ("blink", "ring", "ship", "client", "server"):
+            graph = build_flow(bind(parse(load(name))))
+            assert graph.await_nodes()

@@ -1,0 +1,375 @@
+"""Temporal analysis (§2.6): the paper's acceptance/refusal suite for
+variables, internal events and C calls, plus DFA structure checks."""
+
+import pytest
+
+from repro.dfa import build_dfa, check_determinism
+from repro.lang import parse
+from repro.lang.errors import NondeterminismError
+from repro.sema import bind
+
+
+def dfa_of(src: str, **kw):
+    return build_dfa(bind(parse(src)), **kw)
+
+
+def refuse(src: str, fragment: str = ""):
+    dfa = dfa_of(src)
+    assert dfa.conflicts, "expected nondeterminism"
+    message = dfa.conflicts[0].message()
+    assert fragment in message, message
+    return dfa
+
+
+def accept(src: str):
+    dfa = dfa_of(src)
+    assert not dfa.conflicts, dfa.conflicts[0].message()
+    return dfa
+
+
+class TestVariableConflicts:
+    def test_immediate_concurrent_writes(self):
+        refuse("int v;\npar/and do\nv = 1;\nwith\nv = 2;\nend\nreturn v;",
+               "variable `v`")
+
+    def test_false_positive_same_value_still_refused(self):
+        # §2.6: detection ignores the values being written
+        refuse("int v;\npar/and do\nv = 1;\nwith\nv = 1;\nend\nreturn v;")
+
+    def test_write_vs_read(self):
+        refuse("""
+        input void A;
+        int v, w;
+        par/and do
+           await A;
+           v = 1;
+        with
+           await A;
+           w = v;
+        end
+        """, "variable `v`")
+
+    def test_concurrent_reads_allowed(self):
+        accept("""
+        input void A;
+        int v = 3;
+        int a, b;
+        par/and do
+           await A;
+           a = v;
+        with
+           await A;
+           b = v;
+        end
+        """)
+
+    def test_different_events_no_concurrency(self):
+        accept("""
+        input void A, B;
+        int v;
+        par/and do
+           await A;
+           v = 1;
+        with
+           await B;
+           v = 2;
+        end
+        """)
+
+    def test_fig_dfa_example_sixth_occurrence(self):
+        dfa = refuse("""
+        input void A;
+        int v;
+        par do
+           loop do
+              await A;
+              await A;
+              v = 1;
+           end
+        with
+           loop do
+              await A;
+              await A;
+              await A;
+              v = 2;
+           end
+        end
+        """, "variable `v`")
+        # 2-cycle × 3-cycle: the race fires when both loops complete
+        # simultaneously — on the 6th A (lcm(2,3) = 6), paper fig. 2
+        assert all("event A" in c.trigger for c in dfa.conflicts)
+
+    def test_sequenced_writes_in_one_trail_fine(self):
+        accept("input void A;\nint v;\nloop do\nawait A;\nv = 1;\nv = 2;"
+               "\nend")
+
+    def test_address_taken_counts_as_write(self):
+        refuse("""
+        input void A;
+        int v;
+        int w;
+        par/and do
+           await A;
+           _poll(&v);
+        with
+           await A;
+           w = v;
+        end
+        """, "variable `v`")
+
+    def test_spawning_parent_ordered_before_children(self):
+        accept("""
+        input void A;
+        int v;
+        loop do
+           await A;
+           v = 1;
+           par/and do
+              nothing;
+           with
+              nothing;
+           end
+        end
+        """)
+
+    def test_check_determinism_raises(self):
+        with pytest.raises(NondeterminismError) as err:
+            check_determinism(bind(parse(
+                "int v;\npar/and do\nv = 1;\nwith\nv = 2;\nend")))
+        assert err.value.witness is not None
+
+
+class TestInternalEventConflicts:
+    def test_concurrent_emits(self):
+        refuse("""
+        input void A;
+        internal void e;
+        par/and do
+           await A;
+           emit e;
+        with
+           await A;
+           emit e;
+        end
+        """, "event `e`")
+
+    def test_emit_vs_concurrent_arming(self):
+        refuse("""
+        input void A;
+        internal void e;
+        int v;
+        par do
+           loop do
+              await A;
+              emit e;
+           end
+        with
+           loop do
+              await A;
+              await e;
+           end
+        end
+        """, "event `e`")
+
+    def test_emit_to_already_armed_await_fine(self):
+        accept("""
+        input void A;
+        internal void e;
+        par do
+           loop do
+              await e;
+           end
+        with
+           loop do
+              await A;
+              emit e;
+           end
+        end
+        """)
+
+    def test_stack_policy_chains_are_ordered(self):
+        # the §2.2 dataflow network: emitter and awakened trails interleave
+        # deterministically, so all the shared variables are fine
+        accept("""
+        input int Set;
+        int v1, v2, v3;
+        internal void v1_evt, v2_evt;
+        par do
+           loop do
+              await v1_evt;
+              v2 = v1 + 1;
+              emit v2_evt;
+           end
+        with
+           loop do
+              await v2_evt;
+              v3 = v2 * 2;
+           end
+        with
+           loop do
+              v1 = await Set;
+              emit v1_evt;
+           end
+        end
+        """)
+
+    def test_mutual_dependency_no_cycle(self):
+        accept("""
+        input int SetC, SetF;
+        int tc, tf;
+        internal void tc_evt, tf_evt;
+        par do
+           loop do
+              await tc_evt;
+              tf = 9 * tc / 5 + 32;
+              emit tf_evt;
+           end
+        with
+           loop do
+              await tf_evt;
+              tc = 5 * (tf - 32) / 9;
+              emit tc_evt;
+           end
+        with
+           loop do
+              tc = await SetC;
+              emit tc_evt;
+           end
+        end
+        """)
+
+    def test_two_trails_awakened_by_same_emit_conflict(self):
+        refuse("""
+        input void A;
+        internal void e;
+        int v;
+        par do
+           loop do
+              await e;
+              v = 1;
+           end
+        with
+           loop do
+              await e;
+              v = 2;
+           end
+        with
+           loop do
+              await A;
+              emit e;
+           end
+        end
+        """, "variable `v`")
+
+
+class TestCCallConflicts:
+    def test_concurrent_calls_refused_by_default(self):
+        refuse("par/and do\n_led1On();\nwith\n_led2On();\nend",
+               "C function")
+
+    def test_deterministic_annotation_accepts(self):
+        accept("deterministic _led1On, _led2On;\npar/and do\n_led1On();"
+               "\nwith\n_led2On();\nend")
+
+    def test_pure_runs_with_anything(self):
+        accept("pure _abs;\nint a, b;\npar/and do\na = _abs(1);\nwith"
+               "\nb = _abs(2);\nend")
+
+    def test_pure_with_unannotated_other(self):
+        accept("pure _abs;\nint a;\npar/and do\na = _abs(1);\nwith"
+               "\n_led1On();\nend")
+
+    def test_same_function_twice_needs_annotation(self):
+        refuse("par/and do\n_beep();\nwith\n_beep();\nend", "C function")
+
+    def test_groups_do_not_leak(self):
+        refuse("deterministic _a, _b;\ndeterministic _c, _d;\npar/and do"
+               "\n_a();\nwith\n_c();\nend")
+
+    def test_method_style_call_names(self):
+        refuse("par/and do\n_lcd.write(1);\nwith\n_lcd.write(2);\nend",
+               "lcd.write")
+
+    def test_ship_annotations(self):
+        accept("""
+        pure _analog2key;
+        deterministic _analogRead, _map_generate;
+        par/and do
+           _map_generate();
+        with
+           int k = _analog2key(_analogRead(0));
+        end
+        """)
+
+
+class TestGalsBoundary:
+    def test_async_vs_timer_accepted(self):
+        # §2.9: nondeterminism from asyncs is allowed (locally deterministic)
+        accept("""
+        int ret;
+        par/or do
+           async do
+              int i = 0;
+              loop do
+                 i = i + 1;
+                 if i == 10 then
+                    break;
+                 end
+              end
+              return i;
+           end
+           ret = 1;
+        with
+           await 1s;
+           ret = 2;
+        end
+        return ret;
+        """)
+
+
+class TestDfaStructure:
+    def test_terminal_state(self):
+        dfa = accept("input int X;\nint v = await X;\nreturn v;")
+        assert any(s.terminal for s in dfa.states)
+
+    def test_boot_edge_present(self):
+        dfa = accept("input void A;\nloop do\nawait A;\nend")
+        assert any(src == -1 and lbl == "boot" for src, lbl, _ in dfa.edges)
+
+    def test_loop_states_cycle(self):
+        dfa = accept("input void A, B;\nloop do\nawait A;\nawait B;\nend")
+        # two awaiting configurations, cycling A→B→A
+        assert dfa.state_count() == 2
+
+    def test_dot_output(self):
+        dfa = accept("input void A;\nloop do\nawait A;\nend")
+        dot = dfa.to_dot()
+        assert dot.startswith("digraph")
+        assert 's-1 -> s0 [label="boot"]' in dot
+
+    def test_conflicting_state_marked_in_dot(self):
+        dfa = refuse("int v;\npar/and do\nv = 1;\nwith\nv = 2;\nend")
+        dot = dfa.to_dot()
+        assert "color=red" in dot or dfa.conflicts[0].state_index == 0
+
+    def test_guiding_example_deterministic(self):
+        dfa = accept("""
+        input int A, B, C;
+        int ret;
+        loop do
+           par/or do
+              int a = await A;
+              int b = await B;
+              ret = a + b;
+              break;
+           with
+              par/and do
+                 await C;
+              with
+                 await A;
+              end
+           end
+        end
+        """)
+        assert dfa.state_count() >= 3
+        assert dfa.transition_count() >= dfa.state_count()

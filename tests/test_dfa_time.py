@@ -1,0 +1,224 @@
+"""Wall-clock-aware temporal analysis (§2.6): timer epochs, batch expiry,
+and the paper's two timing examples."""
+
+from repro.dfa import build_dfa
+from repro.lang import parse
+from repro.sema import bind
+
+
+def dfa_of(src: str, **kw):
+    return build_dfa(bind(parse(src)), **kw)
+
+
+def refuse(src: str, fragment: str = ""):
+    dfa = dfa_of(src)
+    assert dfa.conflicts, "expected nondeterminism"
+    assert fragment in dfa.conflicts[0].message()
+    return dfa
+
+
+def accept(src: str):
+    dfa = dfa_of(src)
+    assert not dfa.conflicts, dfa.conflicts[0].message()
+    return dfa
+
+
+class TestPaperTimingExamples:
+    def test_50_49_vs_100_deterministic(self):
+        accept("""
+        int v;
+        par/or do
+           await 50ms;
+           await 49ms;
+           v = 1;
+        with
+           await 100ms;
+           v = 2;
+        end
+        """)
+
+    def test_10ms_loop_vs_100ms_nondeterministic(self):
+        refuse("""
+        int v;
+        par/or do
+           loop do
+              await 10ms;
+              v = 1;
+           end
+        with
+           await 100ms;
+           v = 2;
+        end
+        """, "variable `v`")
+
+
+class TestEpochSemantics:
+    def test_equal_deadlines_same_reaction(self):
+        refuse("""
+        int v;
+        par/and do
+           await 100ms;
+           v = 1;
+        with
+           await 100ms;
+           v = 2;
+        end
+        """, "variable `v`")
+
+    def test_equal_deadlines_via_chaining(self):
+        # 50+50 meets 100 exactly — the analysis adds deltas (§2.3)
+        refuse("""
+        int v;
+        par/and do
+           await 50ms;
+           await 50ms;
+           v = 1;
+        with
+           await 100ms;
+           v = 2;
+        end
+        """, "variable `v`")
+
+    def test_offset_deadlines_ordered(self):
+        accept("""
+        int v;
+        par/and do
+           await 99ms;
+           v = 1;
+        with
+           await 100ms;
+           v = 2;
+        end
+        """)
+
+    def test_cross_epoch_timers_not_batched(self):
+        # the second timer is armed in an event reaction: its phase is
+        # unknown, so the two expiries are modelled as distinct reactions
+        accept("""
+        input void A;
+        int v;
+        par/and do
+           await 100ms;
+           v = 1;
+        with
+           await A;
+           await 100ms;
+           v = 2;
+        end
+        """)
+
+    def test_periodic_loops_colliding(self):
+        # lcm(30, 20) = 60: collision on the first minute boundary
+        refuse("""
+        int v;
+        par do
+           loop do
+              await 30ms;
+              v = 1;
+           end
+        with
+           loop do
+              await 20ms;
+              v = 2;
+           end
+        end
+        """, "variable `v`")
+
+    def test_coprime_periods_still_collide_at_lcm(self):
+        refuse("""
+        int v;
+        par do
+           loop do
+              await 7ms;
+              v = 1;
+           end
+        with
+           loop do
+              await 11ms;
+              v = 2;
+           end
+        end
+        """)
+
+    def test_same_period_after_same_start(self):
+        refuse("""
+        int v;
+        par do
+           loop do
+              await 10ms;
+              v = 1;
+           end
+        with
+           loop do
+              await 10ms;
+              v = v + 1;
+           end
+        end
+        """)
+
+
+class TestComputedTimeouts:
+    def test_tunk_fires_alone(self):
+        # the ship game relies on timer-vs-key never being concurrent
+        accept("""
+        input int Key;
+        int ship, dt;
+        par do
+           loop do
+              await (dt * 1000);
+              ship = ship;
+           end
+        with
+           loop do
+              int k = await Key;
+              ship = k;
+           end
+        end
+        """)
+
+    def test_two_tunks_do_not_batch(self):
+        accept("""
+        int a, b, v, w;
+        par/and do
+           await (a);
+           v = 1;
+        with
+           await (b);
+           w = 2;
+        end
+        """)
+
+
+class TestTimeStateSpace:
+    def test_timer_wheel_states_bounded(self):
+        dfa = accept("""
+        par do
+           loop do
+              await 10ms;
+           end
+        with
+           loop do
+              await 100ms;
+           end
+        end
+        """)
+        # remaining-time residues cycle: finite automaton
+        assert dfa.state_count() <= 12
+
+    def test_event_does_not_decrement_timers(self):
+        dfa = accept("""
+        input void A;
+        int n;
+        par do
+           loop do
+              await 100ms;
+           end
+        with
+           loop do
+              await A;
+              n = n + 1;
+           end
+        end
+        """)
+        # the event transition must return to an equivalent configuration
+        assert dfa.state_count() <= 4

@@ -1,0 +1,111 @@
+"""The evaluation harness: every table/figure reproduces the paper's shape."""
+
+from repro.eval import blink, figures, table1, table2
+
+
+class TestTable1:
+    def test_ceu_always_larger(self):
+        for row in table1.table1():
+            assert row.ceu_rom > row.nesc_rom
+            assert row.ceu_ram > row.nesc_ram
+
+    def test_rom_gap_shrinks_with_complexity(self):
+        """The paper's headline: the Céu−nesC difference decreases as
+        application complexity grows."""
+        rows = table1.table1()
+        diffs = [r.diff_rom for r in rows]
+        assert diffs == sorted(diffs, reverse=True)
+
+    def test_relative_overhead_monotone(self):
+        rows = table1.table1()
+        rel = [r.rel_rom_overhead for r in rows]
+        assert rel == sorted(rel, reverse=True)
+        assert rel[0] > 1.0      # Blink: overhead dominates (paper: 187%)
+        assert rel[-1] < 0.3     # Server: overhead amortised (paper: 7%)
+
+    def test_magnitudes_within_2x_of_paper(self):
+        for row in table1.table1():
+            paper = table1.PAPER[row.app]
+            assert 0.5 <= row.nesc_rom / paper["nesc_rom"] <= 2.0
+            assert 0.5 <= row.ceu_rom / paper["ceu_rom"] <= 2.0
+            assert 0.5 <= row.ceu_ram / paper["ceu_ram"] <= 2.0
+
+    def test_render_contains_all_apps(self):
+        text = table1.render(table1.table1())
+        for app in table1.APPS:
+            assert app in text
+
+
+class TestTable2:
+    def test_all_eight_cells_match_paper_within_tolerance(self):
+        for result in table2.table2():
+            paper = table2.PAPER[(result.system, result.senders,
+                                  result.loops)]
+            assert abs(result.total_s - paper) / paper < 0.05, result
+
+    def test_no_losses_with_one_sender(self):
+        result = table2.run_ceu(senders=1, loops=False, n_messages=500)
+        assert result.lost == 0 and result.received == 500
+
+    def test_loops_cost_is_negligible(self):
+        base = table2.run_ceu(senders=1, loops=False)
+        loaded = table2.run_ceu(senders=1, loops=True)
+        assert loaded.total_s - base.total_s < 0.3
+        assert loaded.background_iterations > 10_000   # fair scheduling
+
+    def test_two_senders_ceu_faster_than_mantis(self):
+        ceu = table2.run_ceu(senders=2)
+        mantis = table2.run_mantis(senders=2)
+        assert ceu.total_s < mantis.total_s
+
+    def test_ceu_receiver_actually_counts(self):
+        result = table2.run_ceu(senders=1, n_messages=100)
+        assert result.received == 100
+
+
+class TestBlinkExperiment:
+    def test_ceu_stays_synchronized(self):
+        result = blink.run_ceu(duration_us=60_000_000)
+        assert result.sync_ratio == 1.0
+        # drift is bounded by one driver step, never accumulating
+        assert result.max_drift_us <= 8_000
+
+    def test_asynchronous_systems_drift(self):
+        mantis = blink.run_mantis(duration_us=60_000_000)
+        occam = blink.run_occam(duration_us=60_000_000)
+        assert mantis.sync_ratio < 0.5
+        assert occam.sync_ratio < 0.5
+        assert mantis.max_drift_us > 50_000
+        assert occam.max_drift_us > 50_000
+
+    def test_drift_grows_with_duration(self):
+        short = blink.run_mantis(duration_us=30_000_000)
+        long = blink.run_mantis(duration_us=240_000_000)
+        assert long.max_drift_us > short.max_drift_us
+
+
+class TestFigures:
+    def test_figure1_reaction_chains(self):
+        result = figures.figure1()
+        summary = result.reaction_summary()
+        assert summary[0][0] == "boot"
+        assert summary[1] == ("event:A", 2, False)   # trails 1 and 3
+        assert summary[2] == ("event:A", 0, True)    # discarded
+        assert summary[3][0] == "event:B"
+        assert result.terminated_before_c
+        assert result.marks == [1, 3, 2, 31, 4]
+
+    def test_figure2_sixth_occurrence(self):
+        result = figures.figure2()
+        assert result.detected
+        assert result.occurrences_to_conflict == 6
+        assert "digraph" in result.dot
+        assert "color=red" in result.dot
+
+    def test_figure3_priorities_outer_lower(self):
+        result = figures.figure3()
+        priorities = dict(result.join_priorities)
+        assert priorities["loop-end"] > priorities["par/or-join"] > \
+            priorities["par/and-join"]
+        assert len(result.graph.await_nodes()) == 4
+        assert "digraph" in result.dot

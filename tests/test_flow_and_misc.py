@@ -1,0 +1,137 @@
+"""Flow-graph construction (§4.1), analysis budgets, diagnostics."""
+
+import pytest
+
+from repro.dfa import build_dfa
+from repro.flow import build_flow
+from repro.lang import parse
+from repro.lang.errors import AnalysisBudgetExceeded, CeuError, SourceSpan
+from repro.sema import bind
+
+
+class TestFlowGraph:
+    def graph_of(self, src):
+        return build_flow(bind(parse(src)))
+
+    def test_linear_program(self):
+        g = self.graph_of("input void A;\nawait A;\nreturn 1;")
+        assert g.entry is not None
+        assert len(g.await_nodes()) == 1
+
+    def test_loop_back_edge(self):
+        g = self.graph_of("input void A;\nloop do\nawait A;\nend")
+        iterate = [e for e in g.edges if e[2] == "iterate"]
+        assert iterate
+
+    def test_par_fork_and_join(self):
+        g = self.graph_of("""
+        input void A, B;
+        par/or do
+           await A;
+        with
+           await B;
+        end
+        """)
+        forks = [n for n in g.nodes if n.kind == "fork"]
+        joins = g.join_nodes()
+        assert len(forks) == 1 and len(joins) == 1
+
+    def test_plain_par_has_no_join(self):
+        g = self.graph_of("""
+        input void A, B;
+        par do
+           await A;
+        with
+           await B;
+        end
+        """)
+        assert not g.join_nodes()
+
+    def test_priorities_outer_lower(self):
+        g = self.graph_of("""
+        input void A, B;
+        loop do
+           par/or do
+              await A;
+           with
+              par/and do
+                 await B;
+              with
+                 await B;
+              end
+           end
+        end
+        """)
+        priorities = {n.label: n.priority for n in g.join_nodes()}
+        assert priorities["loop-end"] > priorities["par/or-join"] > \
+            priorities["par/and-join"]
+        assert all(n.priority == 0 for n in g.nodes if n.kind != "join")
+
+    def test_break_routes_to_loop_escape(self):
+        g = self.graph_of("""
+        input void A;
+        loop do
+           await A;
+           break;
+        end
+        """)
+        escape = next(n for n in g.join_nodes() if n.label == "loop-end")
+        break_node = next(n for n in g.nodes if n.label == "break")
+        assert escape.id in g.successors(break_node.id)
+
+    def test_await_forever_has_no_exit(self):
+        g = self.graph_of("await forever;")
+        forever = g.await_nodes()[0]
+        assert not g.successors(forever.id)
+
+    def test_dot_is_wellformed(self):
+        g = self.graph_of("input void A;\nawait A;")
+        dot = g.to_dot("demo")
+        assert dot.startswith("digraph demo {") and dot.endswith("}")
+        assert dot.count("->") == len(g.edges)
+
+
+class TestAnalysisBudgets:
+    def test_dfa_state_budget(self):
+        # distinct residues of a long-period pair of timers
+        src = """
+        par do
+           loop do
+              await 7ms;
+           end
+        with
+           loop do
+              await 7919ms;
+           end
+        end
+        """
+        with pytest.raises(AnalysisBudgetExceeded):
+            build_dfa(bind(parse(src)), max_states=20)
+
+    def test_budget_generous_enough_for_apps(self):
+        from repro.apps import load
+        dfa = build_dfa(bind(parse(load("ring"))), max_states=20_000)
+        assert dfa.state_count() < 1_000
+
+
+class TestDiagnostics:
+    def test_spans_in_messages(self):
+        try:
+            bind(parse("int v;\nloop do\nw = 1;\nend"))
+        except CeuError as err:
+            assert "3:" in str(err)
+        else:  # pragma: no cover
+            raise AssertionError("expected a diagnostic")
+
+    def test_span_merge(self):
+        a = SourceSpan.point(1, 1, 0)
+        b = SourceSpan.point(3, 7, 42)
+        merged = a.merge(b)
+        assert merged.start.line == 1 and merged.end.line == 3
+
+    def test_error_kinds_distinct(self):
+        from repro.lang.errors import (AsyncError, BindError, BoundedError,
+                                       NondeterminismError)
+        kinds = {cls.kind for cls in
+                 (AsyncError, BindError, BoundedError, NondeterminismError)}
+        assert len(kinds) == 4

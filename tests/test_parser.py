@@ -1,0 +1,269 @@
+"""Parser unit tests over the Appendix-A grammar."""
+
+import pytest
+
+from repro.lang import ast, parse, parse_expression
+from repro.lang.errors import ParseError
+
+
+def single(src: str) -> ast.Stmt:
+    program = parse(src)
+    assert len(program.body.stmts) == 1
+    return program.body.stmts[0]
+
+
+class TestDeclarations:
+    def test_input_event(self):
+        s = single("input int Restart;")
+        assert isinstance(s, ast.DeclEvent)
+        assert s.kind == "input" and s.names == ["Restart"]
+        assert str(s.type) == "int"
+
+    def test_input_multiple(self):
+        s = single("input void A, B, C;")
+        assert s.names == ["A", "B", "C"]
+
+    def test_internal_event(self):
+        s = single("internal void changed;")
+        assert s.kind == "internal" and s.names == ["changed"]
+
+    def test_input_event_must_be_uppercase(self):
+        with pytest.raises(ParseError):
+            parse("input void lower;")
+
+    def test_internal_event_must_be_lowercase(self):
+        with pytest.raises(ParseError):
+            parse("internal void Upper;")
+
+    def test_var_decl_with_init(self):
+        s = single("int v = 0;")
+        assert isinstance(s, ast.DeclVar)
+        assert s.decls[0].name == "v"
+        assert isinstance(s.decls[0].init, ast.Num)
+
+    def test_var_decl_multiple(self):
+        s = single("int v1, v2, v3;")
+        assert [d.name for d in s.decls] == ["v1", "v2", "v3"]
+
+    def test_vector_decl(self):
+        s = single("int[10] keys;")
+        assert isinstance(s.array, ast.Num) and s.array.value == 10
+
+    def test_pointer_type_decl(self):
+        program = parse("input _message_t* Radio_receive;")
+        decl = program.body.stmts[0]
+        assert decl.type.pointers == 1
+        assert decl.type.name == "_message_t"
+
+    def test_decl_with_await_init(self):
+        program = parse("input int X;\nint v = await X;")
+        decl = program.body.stmts[1]
+        assert isinstance(decl.decls[0].init, ast.AwaitExt)
+
+    def test_pure_and_deterministic(self):
+        program = parse("pure _abs;\ndeterministic _a, _b;")
+        assert isinstance(program.body.stmts[0], ast.PureDecl)
+        det = program.body.stmts[1]
+        assert det.names == ["_a", "_b"]
+
+
+class TestAwaitEmit:
+    def test_await_forms(self):
+        program = parse("""
+            input void A;
+            internal void e;
+            await A;
+            await e;
+            await 10ms;
+            await (x * 2);
+            await forever;
+        """)
+        forms = [type(s).__name__ for s in program.body.stmts[2:]]
+        assert forms == ["AwaitExt", "AwaitInt", "AwaitTime", "AwaitExp",
+                         "AwaitForever"]
+
+    def test_emit_internal_with_value(self):
+        program = parse("internal int e;\nemit e = 42;")
+        emit = program.body.stmts[1]
+        assert isinstance(emit, ast.EmitInt)
+        assert emit.value.value == 42
+
+    def test_emit_external_inside_async_syntax(self):
+        program = parse("input int Seed;\nasync do\nemit Seed = 1;\nend")
+        asy = program.body.stmts[1]
+        assert isinstance(asy.body.stmts[0], ast.EmitExt)
+
+    def test_emit_time(self):
+        program = parse("async do\nemit 1h35min;\nend")
+        emit = program.body.stmts[0].body.stmts[0]
+        assert isinstance(emit, ast.EmitTime)
+        assert emit.time.us == 5_700_000_000
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        s = single("if x then\nnothing;\nelse\nnothing;\nend")
+        assert isinstance(s, ast.If) and s.orelse is not None
+
+    def test_else_block_with_nested_if(self):
+        # Appendix A: `else` takes a full Block — nested ifs close their
+        # own `end` (there is no else-if chain sugar)
+        s = single("""
+        if a then
+           nothing;
+        else
+           if b then
+              nothing;
+           end
+        end
+        """)
+        nested = s.orelse.stmts[0]
+        assert isinstance(nested, ast.If)
+
+    def test_loop_and_break(self):
+        s = single("loop do\nbreak;\nend")
+        assert isinstance(s, ast.Loop)
+        assert isinstance(s.body.stmts[0], ast.Break)
+
+    def test_par_modes(self):
+        for kw, mode in [("par", "par"), ("par/or", "or"),
+                         ("par/and", "and")]:
+            s = single(f"{kw} do\nnothing;\nwith\nnothing;\nend")
+            assert isinstance(s, ast.ParStmt) and s.mode == mode
+
+    def test_par_three_branches(self):
+        s = single("par do\nnothing;\nwith\nnothing;\nwith\nnothing;\nend")
+        assert len(s.blocks) == 3
+
+    def test_return_with_value(self):
+        s = single("return v + 1;")
+        assert isinstance(s, ast.Return)
+        assert isinstance(s.value, ast.Binop)
+
+    def test_bare_return(self):
+        s = single("return;")
+        assert s.value is None
+
+    def test_do_block(self):
+        s = single("do\nnothing;\nend")
+        assert isinstance(s, ast.DoBlock)
+
+    def test_assignment_from_par(self):
+        program = parse("""
+        int v;
+        v = par do
+           return 1;
+        with
+           return 0;
+        end;
+        """)
+        assign = program.body.stmts[1]
+        assert isinstance(assign.value, ast.ParStmt)
+
+    def test_assignment_from_async(self):
+        program = parse("int r;\nr = async do\nreturn 1;\nend;")
+        assert isinstance(program.body.stmts[1].value, ast.AsyncBlock)
+
+    def test_call_stmt(self):
+        s = single("call f(1);")
+        assert isinstance(s, ast.CallStmt)
+
+    def test_c_call_stmt(self):
+        s = single("_printf(\"x\");")
+        assert isinstance(s, ast.CCallStmt)
+
+    def test_semicolons_optional_after_end(self):
+        parse("loop do\nbreak;\nend\nloop do\nbreak;\nend")
+
+
+class TestExpressions:
+    def test_precedence_mul_over_add(self):
+        e = parse_expression("1 + 2 * 3")
+        assert e.op == "+" and e.right.op == "*"
+
+    def test_precedence_matches_c(self):
+        e = parse_expression("a || b && c | d ^ e & f == g < h << i + j * k")
+        assert e.op == "||"
+
+    def test_left_associativity(self):
+        e = parse_expression("10 - 4 - 3")
+        assert e.op == "-" and e.left.op == "-"
+
+    def test_unary_chain(self):
+        e = parse_expression("!*&x")
+        assert e.op == "!" and e.operand.op == "*" and \
+            e.operand.operand.op == "&"
+
+    def test_index_chain(self):
+        e = parse_expression("_MAP[ship][step]")
+        assert isinstance(e, ast.Index) and isinstance(e.base, ast.Index)
+
+    def test_field_access(self):
+        e = parse_expression("_lcd.setCursor")
+        assert isinstance(e, ast.FieldAccess) and not e.arrow
+
+    def test_arrow_access(self):
+        e = parse_expression("p->next")
+        assert e.arrow
+
+    def test_method_call(self):
+        e = parse_expression("_lcd.setCursor(0, ship)")
+        assert isinstance(e, ast.CallExp)
+        assert isinstance(e.func, ast.FieldAccess)
+
+    def test_cast(self):
+        e = parse_expression("<int> x")
+        assert isinstance(e, ast.Cast) and str(e.type) == "int"
+
+    def test_cast_vs_comparison(self):
+        e = parse_expression("a < b > c")   # comparison chain, not a cast
+        assert isinstance(e, ast.Binop)
+
+    def test_sizeof(self):
+        e = parse_expression("sizeof <u16>")
+        assert isinstance(e, ast.SizeOf)
+
+    def test_null(self):
+        assert isinstance(parse_expression("null"), ast.Null)
+
+    def test_parenthesized(self):
+        e = parse_expression("(1 + 2) * 3")
+        assert e.op == "*" and e.left.op == "+"
+
+    def test_modulo(self):
+        e = parse_expression("(_TOS_NODE_ID + 1) % 3")
+        assert e.op == "%"
+
+
+class TestParseErrors:
+    @pytest.mark.parametrize("src", [
+        "loop do",                       # unterminated
+        "par do nothing; end",           # single-branch par
+        "if x nothing; end",             # missing then
+        "await;",                        # malformed await
+        "emit;",                         # malformed emit
+        "1 + 2;",                        # expression statement
+        "end",                           # stray end
+        "x = ;",                         # missing rhs
+    ])
+    def test_refused(self, src):
+        with pytest.raises(ParseError):
+            parse(src)
+
+
+class TestNodeInfrastructure:
+    def test_walk_covers_children(self):
+        program = parse("int v = 1;\nloop do\nv = v + 1;\nbreak;\nend")
+        kinds = {type(n).__name__ for n in program.walk()}
+        assert {"Program", "Block", "DeclVar", "Loop", "Assign",
+                "Break"} <= kinds
+
+    def test_nids_unique(self):
+        program = parse("int a;\nint b;\nint c;")
+        nids = [n.nid for n in program.walk()]
+        assert len(nids) == len(set(nids))
+
+    def test_spans_merge(self):
+        program = parse("int v = 1 + 2;")
+        decl = program.body.stmts[0]
+        assert decl.span.start.line == 1

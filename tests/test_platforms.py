@@ -1,0 +1,173 @@
+"""Simulated platforms: TinyOS world (ring demo), Arduino (ship), SDL."""
+
+import pytest
+
+from repro.apps import load
+from repro.apps.envs import KEY_DOWN, KEY_NONE, KEY_UP, ShipWorld
+from repro.apps.mario import (environment_backwards, environment_plain,
+                              environment_replay, environment_sdl_poll)
+from repro.apps.envs import MarioScreen
+from repro.platforms import (ArduinoBoard, Message, SdlHost, TinyOsWorld,
+                             radio_get_payload)
+from repro.runtime.values import CellRef
+
+
+class TestTinyOsPrimitives:
+    def test_payload_pointer(self):
+        msg = Message()
+        p = radio_get_payload(msg)
+        p.set(7)
+        assert msg.payload[0] == 7
+
+    def test_payload_initialises_through_pointer(self):
+        slot = {"m": 0}
+        ref = CellRef(slot, "m")
+        p = radio_get_payload(ref)
+        p.set(3)
+        assert isinstance(slot["m"], Message)
+        assert slot["m"].payload[0] == 3
+
+    def test_leds_history(self):
+        world = TinyOsWorld()
+        mote = world.add_mote(0, "input _message_t* Radio_receive;"
+                                 "\n_Leds_set(5);\nawait forever;")
+        mote.boot()
+        assert mote.leds.value == 5
+
+
+class TestRingDemo:
+    def _world(self, **kw):
+        world = TinyOsWorld(**kw)
+        for i in range(3):
+            world.add_mote(i, load("ring"))
+        world.boot()
+        return world
+
+    def test_counter_circulates(self):
+        world = self._world()
+        world.run_until(10_000_000)
+        # one hop per ~second: everyone keeps receiving
+        for i in range(3):
+            assert len(world.motes[i].received) >= 2, i
+        # the counter increments monotonically along the ring
+        values = [m.payload[0] for _, m in world.motes[1].received]
+        assert values == sorted(values)
+        assert values[0] == 1
+
+    def test_failure_detected_and_red_led_blinks(self):
+        world = self._world()
+        world.run_until(6_000_000)
+        world.motes[2].fail()
+        world.run_until(16_000_000)
+        blinks = [t for t, _ in world.motes[0].leds.history
+                  if t > 12_000_000]
+        # 500 ms toggles once the 5 s watchdog fires
+        assert len(blinks) >= 4
+
+    def test_mote0_retries_and_network_recovers(self):
+        world = self._world()
+        world.run_until(5_000_000)
+        world.motes[2].fail()
+        world.run_until(20_000_000)
+        world.motes[2].recover()
+        world.run_until(45_000_000)
+        late = [t for t, _ in world.motes[2].received if t > 21_000_000]
+        assert late, "the ring must be restored after recovery"
+
+    def test_message_loss_triggers_monitor(self):
+        world = self._world(loss=1.0)   # radio drops everything
+        world.run_until(12_000_000)
+        assert world.dropped
+        blinks = [t for t, _ in world.motes[1].leds.history
+                  if t > 5_000_000]
+        assert len(blinks) >= 4
+
+
+class TestArduino:
+    def test_lcd_writes(self):
+        board = ArduinoBoard('_lcd.setCursor(0, 1);\n_lcd.write(62);'
+                             '\nawait forever;')
+        board.boot()
+        assert board.lcd.rows[1][0] == ">"
+
+    def test_analog_script_steps(self):
+        board = ArduinoBoard("await forever;")
+        board.script_analog(0, [("1s", 100), ("2s", 900)])
+        assert board._analog_read(0) == 1023
+        board.program.at("1500ms")
+        assert board._analog_read(0) == 100
+        board.program.at("2500ms")
+        assert board._analog_read(0) == 900
+
+    def test_digital_pins(self):
+        board = ArduinoBoard("_digitalWrite(13, _HIGH);\nawait forever;")
+        board.boot()
+        assert board.pins[13] == 1
+
+    def test_ship_game_runs(self):
+        world = ShipWorld()
+        board = ArduinoBoard(load("ship"), extra_env=world.env())
+        world.lcd = board.lcd
+        board.script_analog(0, [("1s", 100), ("1200ms", 1023)])
+        board.boot()
+        board.run_for("10s", tick="25ms")
+        # the game started (map drawn, steps taken)
+        assert world.map_rows
+        steps = [s for s, _, _ in world.redraws]
+        assert max(steps) >= 1
+        assert len(board.lcd.frames) > 5
+
+    def test_ship_key_decoding(self):
+        world = ShipWorld()
+        assert world.analog2key(50) == KEY_UP
+        assert world.analog2key(300) == KEY_DOWN
+        assert world.analog2key(1000) == KEY_NONE
+
+
+class TestSdlMario:
+    def test_plain_environment_runs(self):
+        screen = MarioScreen()
+        host = SdlHost(environment_plain(100, (5,)),
+                       extra_env={**screen.env(), "KEYS": [5]})
+        host.run()
+        assert host.program.done
+        assert len(screen.frames) >= 100
+
+    def test_sdl_poll_environment(self):
+        screen = MarioScreen()
+        host = SdlHost(environment_sdl_poll(60), key_script={10},
+                       extra_env=screen.env())
+        host.run()
+        assert host.program.done
+        assert len(screen.frames) >= 60
+
+    def test_replay_reproduces_gameplay(self):
+        screen = MarioScreen()
+        host = SdlHost(environment_replay(120, (7, 40), replays=1),
+                       extra_env={**screen.env(), "KEYS": [7, 40]})
+        host.run()
+        frames = screen.frames
+        half = len(frames) // 2
+        assert frames[:half] == frames[half:]
+
+    def test_backwards_replay(self):
+        screen = MarioScreen()
+        host = SdlHost(environment_backwards(30, ()),
+                       extra_env={**screen.env(), "KEYS": []})
+        host.run()
+        forward = screen.frames[:31]
+        backward = screen.frames[31:]
+        assert backward == list(reversed(forward[1:]))
+
+    def test_jump_changes_trajectory(self):
+        base = MarioScreen()
+        SdlHost(environment_plain(80, ()),
+                extra_env={**base.env(), "KEYS": []}).run()
+        jumped = MarioScreen()
+        SdlHost(environment_plain(80, (10,)),
+                extra_env={**jumped.env(), "KEYS": [10]}).run()
+        # a key press at step 10 must alter mario's y trajectory
+        assert base.frames != jumped.frames
+        ys_base = {f[1] for f in base.frames}
+        ys_jump = {f[1] for f in jumped.frames}
+        assert ys_jump != ys_base

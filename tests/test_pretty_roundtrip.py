@@ -1,0 +1,189 @@
+"""Pretty-printer round trips, including hypothesis-generated expressions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.lang import ast, parse, parse_expression, pretty
+
+
+def roundtrip(src: str) -> None:
+    first = pretty(parse(src))
+    second = pretty(parse(first))
+    assert first == second
+
+
+PAPER_LISTINGS = [
+    # §2 intro example
+    """
+    input int Restart;
+    internal void changed;
+    int v = 0;
+    par do
+       loop do
+          await 1s;
+          v = v + 1;
+          emit changed;
+       end
+    with
+       loop do
+          v = await Restart;
+          emit changed;
+       end
+    with
+       loop do
+          await changed;
+          _printf("v = %d\\n", v);
+       end
+    end
+    """,
+    # §2.2 dataflow
+    """
+    int v1, v2, v3;
+    internal void v1_evt, v2_evt, v3_evt;
+    par do
+       loop do
+          await v1_evt;
+          v2 = v1 + 1;
+          emit v2_evt;
+       end
+    with
+       loop do
+          await v2_evt;
+          v3 = v2 * 2;
+          emit v3_evt;
+       end
+    with
+       nothing;
+    end
+    """,
+    # §2.7 async
+    """
+    int ret;
+    par/or do
+       ret = async do
+          int sum = 0;
+          int i = 1;
+          loop do
+             sum = sum + i;
+             if i == 100 then
+                break;
+             else
+                i = i + 1;
+             end
+          end
+          return sum;
+       end;
+    with
+       await 10ms;
+       ret = 0;
+    end
+    return ret;
+    """,
+    # §4 guiding example
+    """
+    input int A, B, C;
+    int ret;
+    loop do
+       par/or do
+          int a = await A;
+          int b = await B;
+          ret = a + b;
+          break;
+       with
+          par/and do
+             await C;
+          with
+             await A;
+          end
+       end
+    end
+    """,
+]
+
+
+@pytest.mark.parametrize("src", PAPER_LISTINGS,
+                         ids=["intro", "dataflow", "async", "guiding"])
+def test_paper_listings_roundtrip(src):
+    roundtrip(src)
+
+
+def test_app_sources_roundtrip():
+    from repro.apps import load, names
+    for name in names():
+        roundtrip(load(name))
+
+
+def test_c_block_roundtrip():
+    roundtrip("C do\nint inc(int i) { return i+1; }\nend\nreturn _inc(1);")
+
+
+def test_time_literals_roundtrip():
+    roundtrip("await 1h35min;\nawait 2s500ms;\nawait 10us;")
+
+
+# --------------------------------------------------------------------------
+# property-based: random expression trees survive print → parse → print
+# --------------------------------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "counter", "_printf", "_MAP"])
+_binops = st.sampled_from(sorted({"+", "-", "*", "/", "%", "==", "!=",
+                                  "<", "<=", ">", ">=", "&&", "||",
+                                  "&", "|", "^", "<<", ">>"}))
+_unops = st.sampled_from(["!", "-", "~", "*", "&"])
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=10_000).map(
+            lambda v: ast.Num(value=v)),
+        _names.map(lambda n: ast.NameC(name=n) if n.startswith("_")
+                   else ast.NameInt(name=n)),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(_binops, children, children).map(
+                lambda t: ast.Binop(op=t[0], left=t[1], right=t[2])),
+            st.tuples(_unops, children).map(
+                lambda t: ast.Unop(op=t[0], operand=t[1])),
+            st.tuples(children, children).map(
+                lambda t: ast.Index(base=t[0], index=t[1])),
+            st.tuples(children, st.lists(children, max_size=3)).map(
+                lambda t: ast.CallExp(func=t[0], args=t[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=25)
+
+
+@given(_exprs())
+@settings(max_examples=150, deadline=None)
+def test_expression_roundtrip_property(expr):
+    text = pretty(expr)
+    reparsed = parse_expression(text)
+    assert pretty(reparsed) == text
+
+
+@given(_exprs())
+@settings(max_examples=60, deadline=None)
+def test_expression_structure_preserved(expr):
+    """Printing then parsing preserves the tree shape, not just the text."""
+    reparsed = parse_expression(pretty(expr))
+
+    def shape(e):
+        if isinstance(e, ast.Num):
+            return ("num", e.value)
+        if isinstance(e, (ast.NameInt, ast.NameC)):
+            return ("name", e.name)
+        if isinstance(e, ast.Binop):
+            return ("bin", e.op, shape(e.left), shape(e.right))
+        if isinstance(e, ast.Unop):
+            return ("un", e.op, shape(e.operand))
+        if isinstance(e, ast.Index):
+            return ("idx", shape(e.base), shape(e.index))
+        if isinstance(e, ast.CallExp):
+            return ("call", shape(e.func),
+                    tuple(shape(a) for a in e.args))
+        raise AssertionError(type(e))
+
+    assert shape(reparsed) == shape(expr)

@@ -1,0 +1,218 @@
+"""Reference-VM basics: reactions, awaits, values, expressions, C env."""
+
+import pytest
+
+from helpers import run_program
+from repro.lang.errors import RuntimeCeuError
+from repro.runtime import CAssertionError, Program
+
+
+class TestReactions:
+    def test_boot_runs_to_first_await(self):
+        p = run_program("input void A;\n_printf(\"boot\\n\");\nawait A;"
+                        "\n_printf(\"after\\n\");")
+        assert p.output() == "boot\n"
+        assert not p.done
+
+    def test_event_resumes(self):
+        p = run_program("input void A;\nawait A;\nreturn 7;", ("ev", "A"))
+        assert p.done and p.result == 7
+
+    def test_event_value_received(self):
+        p = run_program("input int X;\nint v = await X;\nreturn v * 2;",
+                        ("ev", "X", 21))
+        assert p.result == 42
+
+    def test_event_discarded_when_nobody_awaits(self):
+        p = run_program("""
+        input void A, B;
+        await B;
+        await A;
+        return 1;
+        """, ("ev", "A"), ("ev", "B"), ("ev", "A"))
+        assert p.done and p.result == 1
+
+    def test_one_event_per_reaction(self):
+        # a trail awaiting A twice needs two occurrences
+        p = run_program("input void A;\nawait A;\nawait A;\nreturn 1;",
+                        ("ev", "A"))
+        assert not p.done
+
+    def test_program_terminates_when_no_trails_await(self):
+        p = run_program("int v = 1;\nv = v + 1;")
+        assert p.done and p.result is None
+
+    def test_explicit_return_terminates(self):
+        p = run_program("return 5;")
+        assert p.done and p.result == 5
+
+    def test_termination_freezes_api(self):
+        p = run_program("return 1;")
+        assert p.send("A") == "terminated" or p.done  # no crash
+
+    def test_undeclared_event_raises(self):
+        p = Program("input void A;\nawait A;")
+        p.start()
+        with pytest.raises(RuntimeCeuError):
+            p.send("Nope")
+
+
+class TestExpressions:
+    def _eval(self, expr: str, setup: str = ""):
+        p = run_program(f"{setup}\nreturn {expr};")
+        assert p.done
+        return p.result
+
+    def test_c_division_truncates_toward_zero(self):
+        assert self._eval("(0 - 7) / 2") == -3
+        assert self._eval("7 / 2") == 3
+
+    def test_c_modulo(self):
+        assert self._eval("(0 - 7) % 2") == -1
+
+    def test_temperature_formula(self):
+        assert self._eval("9 * 100 / 5 + 32") == 212
+        assert self._eval("5 * (212 - 32) / 9") == 100
+
+    def test_logical_ops_short_circuit(self):
+        p = run_program("""
+        int hits = 0;
+        int r = 0 && _count();
+        int s = 1 || _count();
+        return hits;
+        """)
+        # _count is undefined: short-circuiting must avoid calling it
+        assert p.result == 0
+
+    def test_comparisons_yield_ints(self):
+        assert self._eval("3 < 5") == 1
+        assert self._eval("3 > 5") == 0
+
+    def test_bitwise(self):
+        assert self._eval("(5 << 2) | 1") == 21
+        assert self._eval("~0 & 15") == 15
+        assert self._eval("6 ^ 3") == 5
+
+    def test_unary_not(self):
+        assert self._eval("!0") == 1
+        assert self._eval("!42") == 0
+
+    def test_char_comparison(self):
+        assert self._eval("'#' == 35") == 1
+
+    def test_division_by_zero(self):
+        with pytest.raises(RuntimeCeuError):
+            self._eval("1 / 0")
+
+    def test_cast_is_transparent(self):
+        assert self._eval("<int> 300") == 300
+
+    def test_null_is_zero(self):
+        assert self._eval("null == 0") == 1
+
+
+class TestVariablesAndVectors:
+    def test_vector_elements(self):
+        p = run_program("""
+        int[4] xs;
+        xs[0] = 10;
+        xs[3] = 40;
+        return xs[0] + xs[3];
+        """)
+        assert p.result == 50
+
+    def test_vector_out_of_range(self):
+        with pytest.raises(RuntimeCeuError):
+            run_program("int[2] xs;\nxs[5] = 1;")
+
+    def test_pointer_roundtrip(self):
+        p = run_program("""
+        int v = 5;
+        int* p = &v;
+        *p = *p + 10;
+        return v;
+        """)
+        assert p.result == 15
+
+    def test_pointer_into_vector(self):
+        p = run_program("""
+        int[3] xs;
+        int* p = &xs[1];
+        *p = 9;
+        return xs[1];
+        """)
+        assert p.result == 9
+
+    def test_loop_redeclaration_reinitialises(self):
+        p = run_program("""
+        input void A;
+        int total = 0;
+        loop do
+           int local = 0;
+           local = local + 1;
+           total = total + local;
+           if total == 3 then
+              break;
+           end
+           await A;
+        end
+        return total;
+        """, ("ev", "A"), ("ev", "A"))
+        assert p.result == 3
+
+
+class TestCEnvironment:
+    def test_printf_formats(self):
+        p = run_program('_printf("%d %s %c %x%%\\n", 42, "hi", 65, 255);')
+        assert p.output() == "42 hi A ff%\n"
+
+    def test_assert_pass_and_fail(self):
+        run_program("_assert(1 + 1 == 2);")
+        with pytest.raises(CAssertionError):
+            run_program("_assert(0);")
+
+    def test_rand_deterministic(self):
+        src = """
+        _srand(7);
+        int a = _rand();
+        int b = _rand();
+        return a * 100000 + b;
+        """
+        assert run_program(src).result == run_program(src).result
+
+    def test_custom_c_function(self):
+        p = Program("int v = _double(21);\nreturn v;")
+        p.cenv.define("double", lambda x: 2 * x)
+        p.start()
+        assert p.result == 42
+
+    def test_c_global_read_write(self):
+        p = Program("_G = _G + 1;\nreturn _G;")
+        p.cenv.define("G", 10)
+        p.start()
+        assert p.result == 11
+
+    def test_object_method_call(self):
+        class Dev:
+            def __init__(self):
+                self.log = []
+
+            def write(self, x):
+                self.log.append(x)
+                return 0
+
+        dev = Dev()
+        p = Program("_dev.write(3);\n_dev.write(4);")
+        p.cenv.define("dev", dev)
+        p.start()
+        assert dev.log == [3, 4]
+
+    def test_undefined_c_symbol(self):
+        with pytest.raises(RuntimeCeuError):
+            run_program("_undefined_fn();")
+
+    def test_string_indexing_gives_char_code(self):
+        p = Program("return _S[1];")
+        p.cenv.define("S", "a#c")
+        p.start()
+        assert p.result == ord("#")

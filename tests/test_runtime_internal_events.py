@@ -1,0 +1,194 @@
+"""Internal events on the VM: the §2.2 stack policy, dataflow networks."""
+
+from helpers import run_program
+from repro.runtime import Program
+
+
+class TestStackPolicy:
+    def test_paper_walkthrough_exact_values(self):
+        """The numbered 7-step sequence of §2.2."""
+        p = run_program("""
+        input void Go;
+        int v1, v2, v3;
+        internal void v1_evt, v2_evt, v3_evt;
+        par/or do
+           loop do
+              await v1_evt;
+              v2 = v1 + 1;
+              emit v2_evt;
+           end
+        with
+           loop do
+              await v2_evt;
+              v3 = v2 * 2;
+              emit v3_evt;
+           end
+        with
+           await Go;
+           v1 = 10;
+           emit v1_evt;
+           _printf("mid %d %d %d\\n", v1, v2, v3);
+           v1 = 15;
+           emit v1_evt;
+           _printf("end %d %d %d\\n", v1, v2, v3);
+        end
+        """, ("ev", "Go"))
+        # after the first emit: v2=11, v3=22; after the second: v2=16, v3=32
+        assert p.output() == "mid 10 11 22\nend 15 16 32\n"
+        assert p.done
+
+    def test_emitter_resumes_after_reactions(self):
+        p = run_program("""
+        input void Go;
+        internal void e;
+        int order = 0;
+        par/or do
+           await e;
+           order = order * 10 + 1;
+        with
+           await Go;
+           order = order * 10 + 2;
+           emit e;
+           order = order * 10 + 3;
+        end
+        return order;
+        """, ("ev", "Go"))
+        assert p.result == 213
+
+    def test_emit_without_awaiters_is_discarded(self):
+        p = run_program("""
+        internal void e;
+        emit e;
+        return 1;
+        """)
+        assert p.result == 1
+
+    def test_reawaiting_misses_same_emission(self):
+        # a trail that awaits e only *after* the emit does not see it
+        p = run_program("""
+        input void Go;
+        internal void e;
+        int got = 0;
+        par/or do
+           await Go;
+           await e;
+           got = 1;
+        with
+           await Go;
+           emit e;
+           await 1s;
+        end
+        return got;
+        """, ("ev", "Go"), ("adv", "2s"))
+        # both trails awake on Go; the left one arms `await e` in the same
+        # reaction — whether it catches the emit depends on order, which
+        # is exactly why the temporal analysis refuses this program; the
+        # VM's canonical order arms before the emit (registration order)
+        assert p.done
+
+    def test_event_value_passing(self):
+        p = run_program("""
+        input void Go;
+        internal int e;
+        int got;
+        par/or do
+           got = await e;
+        with
+           await Go;
+           emit e = 42;
+           await 1us;
+        end
+        return got;
+        """, ("ev", "Go"))
+        assert p.result == 42
+
+    def test_mutual_dependency_terminates(self):
+        p = run_program("""
+        input int SetC;
+        int tc, tf;
+        internal void tc_evt, tf_evt;
+        par do
+           loop do
+              await tc_evt;
+              tf = 9 * tc / 5 + 32;
+              emit tf_evt;
+           end
+        with
+           loop do
+              await tf_evt;
+              tc = 5 * (tf - 32) / 9;
+              emit tc_evt;
+           end
+        with
+           loop do
+              tc = await SetC;
+              emit tc_evt;
+           end
+        end
+        """, ("ev", "SetC", 100), ("ev", "SetC", 0))
+        snap = p.sched.memory.snapshot()
+        assert (snap["tc"], snap["tf"]) == (0, 32)
+
+    def test_emit_chain_depth(self):
+        # a linear chain of N dataflow trails reacts in one reaction
+        n = 30
+        trails = "\n".join(f"""
+        with
+           loop do
+              await e{i};
+              emit e{i + 1};
+           end""" for i in range(n))
+        p = run_program(f"""
+        input void Go;
+        internal void {', '.join(f'e{i}' for i in range(n + 1))};
+        int done = 0;
+        par do
+           loop do
+              await e{n};
+              done = done + 1;
+           end
+        {trails}
+        with
+           loop do
+              await Go;
+              emit e0;
+           end
+        end
+        """, ("ev", "Go"), ("ev", "Go"))
+        assert p.sched.memory.snapshot()["done"] == 2
+
+    def test_notify_only_events_carry_none(self):
+        p = run_program("""
+        input void Go;
+        internal void changed;
+        int seen = 0;
+        par/or do
+           loop do
+              await changed;
+              seen = seen + 1;
+           end
+        with
+           await Go;
+           emit changed;
+           emit changed;
+           await 1us;
+        end
+        return seen;
+        """, ("ev", "Go"), ("adv", "1ms"))
+        assert p.result == 2
+
+
+class TestOutputEvents:
+    def test_output_handler_called(self):
+        p = Program("""
+        output int Done;
+        input void Go;
+        await Go;
+        emit Done = 5;
+        """)
+        sent = []
+        p.sched.output_handler = lambda name, value: sent.append(
+            (name, value))
+        p.start()
+        p.send("Go")
+        assert sent == [("Done", 5)]

@@ -1,0 +1,305 @@
+"""Parallel compositions on the VM: rejoin modes, kills, escapes, values."""
+
+from helpers import run_program
+
+
+class TestParAnd:
+    def test_waits_for_all(self):
+        p = run_program("""
+        input void A, B;
+        int x = 0;
+        par/and do
+           await A;
+           x = x + 1;
+        with
+           await B;
+           x = x + 10;
+        end
+        return x;
+        """, ("ev", "A"))
+        assert not p.done
+        p.send("B")
+        assert p.done and p.result == 11
+
+    def test_instant_branch(self):
+        p = run_program("""
+        input void A;
+        int x = 0;
+        par/and do
+           await A;
+           x = x + 1;
+        with
+           x = x + 10;
+        end
+        return x;
+        """, ("ev", "A"))
+        assert p.result == 11
+
+    def test_three_branches(self):
+        p = run_program("""
+        input void A, B, C;
+        par/and do
+           await A;
+        with
+           await B;
+        with
+           await C;
+        end
+        return 1;
+        """, ("ev", "C"), ("ev", "A"), ("ev", "B"))
+        assert p.done
+
+
+class TestParOr:
+    def test_first_termination_wins(self):
+        p = run_program("""
+        input void A, B;
+        int x = 0;
+        par/or do
+           await A;
+           x = 1;
+        with
+           await B;
+           x = 2;
+        end
+        return x;
+        """, ("ev", "B"))
+        assert p.result == 2
+
+    def test_siblings_killed(self):
+        p = run_program("""
+        input void A, B;
+        int x = 0;
+        par/or do
+           await A;
+        with
+           loop do
+              await B;
+              x = x + 1;
+           end
+        end
+        await B;
+        await B;
+        return x;
+        """, ("ev", "B"), ("ev", "A"), ("ev", "B"), ("ev", "B"))
+        assert p.done and p.result == 1
+
+    def test_simultaneous_terminations_all_execute(self):
+        # §2.1: both trails react before the composition rejoins
+        p = run_program("""
+        input void A;
+        int x = 0;
+        par/or do
+           await A;
+           x = x + 1;
+        with
+           await A;
+           x = x + 10;
+        end
+        return x;
+        """, ("ev", "A"))
+        assert p.result == 11
+
+    def test_continuation_runs_once(self):
+        p = run_program("""
+        input void A;
+        int n = 0;
+        loop do
+           par/or do
+              await A;
+           with
+              await A;
+           end
+           n = n + 1;
+           if n == 2 then
+              break;
+           end
+        end
+        return n;
+        """, ("ev", "A"), ("ev", "A"))
+        assert p.result == 2
+
+    def test_watchdog_restart_archetype(self):
+        p = run_program("""
+        input void Done;
+        int restarts = 0;
+        int finished = 0;
+        loop do
+           par/or do
+              await Done;
+              finished = 1;
+              break;
+           with
+              await 100ms;
+              restarts = restarts + 1;
+           end
+        end
+        return restarts * 10 + finished;
+        """, ("adv", "250ms"), ("ev", "Done"))
+        assert p.result == 21  # two timeouts, then completion
+
+    def test_nested_or_kill_cancels_inner_timers(self):
+        p = run_program("""
+        int n = 0;
+        par/or do
+           par/and do
+              await 10ms;
+              n = n + 1;
+           with
+              await 20ms;
+              n = n + 2;
+           end
+        with
+           await 15ms;
+           n = n + 100;
+        end
+        return n;
+        """, ("at", "1s"))
+        assert p.result == 101
+
+
+class TestValueParsAndEscapes:
+    def test_return_value_from_par(self):
+        p = run_program("""
+        input void K, T;
+        int v;
+        v = par do
+           await K;
+           return 1;
+        with
+           await T;
+           return 2;
+        end;
+        return v * 10;
+        """, ("ev", "T"))
+        assert p.result == 20
+
+    def test_return_from_do_block(self):
+        p = run_program("int v;\nv = do\nreturn 5;\nend;\nreturn v + 1;")
+        assert p.result == 6
+
+    def test_do_block_fallthrough_yields_zero(self):
+        p = run_program("int v = 9;\nv = do\nnothing;\nend;\nreturn v;")
+        assert p.result == 0
+
+    def test_break_crossing_par_kills_sibling(self):
+        p = run_program("""
+        input void A, B;
+        int n = 0;
+        loop do
+           par do
+              await A;
+              break;
+           with
+              loop do
+                 await B;
+                 n = n + 100;
+              end
+           end
+        end
+        n = n + 1;
+        return n;
+        """, ("ev", "B"), ("ev", "A"))
+        assert p.done and p.result == 101
+
+    def test_return_through_two_pars(self):
+        p = run_program("""
+        input void A;
+        int v;
+        v = par do
+           par do
+              await A;
+              return 7;
+           with
+              await forever;
+           end
+           return 0;
+        with
+           await forever;
+        end;
+        return v;
+        """, ("ev", "A"))
+        assert p.result == 7
+
+    def test_return_into_do_through_par(self):
+        p = run_program("""
+        input void A;
+        int v;
+        v = do
+           par do
+              await A;
+              return 3;
+           with
+              await forever;
+           end
+        end;
+        return v + 1;
+        """, ("ev", "A"))
+        assert p.result == 4
+
+    def test_plain_par_branch_completion_halts_forever(self):
+        # §2.1: a terminating trail of a plain `par` halts forever
+        p = run_program("""
+        input void A;
+        int n = 0;
+        par do
+           await A;
+           n = n + 1;
+        with
+           loop do
+              await A;
+              n = n + 10;
+           end
+        end
+        """, ("ev", "A"), ("ev", "A"))
+        assert not p.done
+        snap = p.sched.memory.snapshot()
+        assert snap["n"] == 21
+
+    def test_program_return_from_deep_nesting(self):
+        p = run_program("""
+        input void A;
+        par do
+           par do
+              await A;
+              return 99;
+           with
+              await forever;
+           end
+        with
+           await forever;
+        end
+        """, ("ev", "A"))
+        assert p.done and p.result == 99
+
+
+class TestAppSwitchPattern:
+    def test_switch_restarts_composition(self):
+        p = run_program("""
+        input int Switch;
+        input void Tick;
+        int cur_app = 1;
+        int log = 0;
+        loop do
+           par/or do
+              cur_app = await Switch;
+           with
+              if cur_app == 1 then
+                 loop do
+                    await Tick;
+                    log = log + 1;
+                 end
+              end
+              if cur_app == 2 then
+                 loop do
+                    await Tick;
+                    log = log + 100;
+                 end
+              end
+              await forever;
+           end
+        end
+        """, ("ev", "Tick"), ("ev", "Tick"), ("ev", "Switch", 2),
+            ("ev", "Tick"), ("ev", "Switch", 3), ("ev", "Tick"))
+        assert p.sched.memory.snapshot()["log"] == 102
+        assert not p.done

@@ -1,0 +1,215 @@
+"""Wall-clock time on the VM (§2.3): residual deltas, deadline chaining,
+batching of equal deadlines, physical ordering."""
+
+import pytest
+
+from helpers import run_program
+from repro.lang.errors import RuntimeCeuError
+from repro.runtime import Program
+
+
+class TestResidualDeltas:
+    def test_paper_delta_example(self):
+        """`await 10ms; v=1; await 1ms; v=2` with a single late go_time(15ms):
+        both deadlines fire, in order, inside the one call."""
+        p = Program("""
+        int v;
+        await 10ms;
+        v = 1;
+        await 1ms;
+        v = 2;
+        return v;
+        """)
+        p.sched.go_init()
+        status = p.sched.go_time(15_000)
+        assert status == "terminated"
+        assert p.result == 2
+
+    def test_deadlines_chain_logically(self):
+        # 10 iterations of `await 10min` then check against 1h35min
+        p = run_program("""
+        input int Start;
+        int v = await Start;
+        par/or do
+           loop do
+              await 10min;
+              v = v + 1;
+           end
+        with
+           await 1h35min;
+           _assert(v == 19);
+        end
+        return v;
+        """, ("ev", "Start", 10), ("adv", "1h35min"))
+        assert p.done and p.result == 19
+
+    def test_sloppy_driver_does_not_accumulate_drift(self):
+        """Driving time in ragged increments must not change tick count."""
+        src = """
+        int n = 0;
+        par/or do
+           loop do
+              await 400ms;
+              n = n + 1;
+           end
+        with
+           await 60s;
+        end
+        return n;
+        """
+        neat = run_program(src, ("at", "60s"))
+        p = Program(src)
+        p.start()
+        t = 0
+        for step in (7_301, 13_007, 400_001, 999_983):
+            while t < 60_000_000 and not p.done:
+                t += step
+                p.at(min(t, 60_000_000))
+            if p.done:
+                break
+        assert neat.result == p.result == 150
+
+    def test_await_delta_value(self):
+        # awaiting yields the residual delta (observed - logical)
+        p = Program("""
+        int d = await 10ms;
+        return d;
+        """)
+        p.sched.go_init()
+        p.sched.go_time(15_000)
+        assert p.result == 5_000
+
+
+class TestOrderingAndBatching:
+    def test_50_49_beats_100(self):
+        p = run_program("""
+        int v;
+        par/or do
+           await 50ms;
+           await 49ms;
+           v = 1;
+        with
+           await 100ms;
+           v = 2;
+        end
+        return v;
+        """, ("at", "100ms"))
+        assert p.result == 1
+
+    def test_equal_deadlines_fire_in_same_reaction(self):
+        p = run_program("""
+        int v = 0;
+        par/and do
+           await 100ms;
+           v = v + 1;
+        with
+           await 100ms;
+           v = v + 10;
+        end
+        return v;
+        """, ("at", "100ms"))
+        assert p.result == 11
+
+    def test_distinct_deadlines_distinct_reactions(self, ):
+        p = Program("""
+        input void A;
+        int log = 0;
+        par do
+           await 10ms;
+           log = log * 10 + 1;
+        with
+           await 20ms;
+           log = log * 10 + 2;
+        with
+           await 15ms;
+           log = log * 10 + 3;
+        end
+        """, trace=True)
+        p.start()
+        p.at("1s")
+        timed = [r for r in p.trace.reactions if r.trigger == "time"]
+        assert [r.value for r in timed] == [10_000, 15_000, 20_000]
+
+    def test_computed_timeout(self):
+        p = run_program("""
+        int dt = 500;
+        await (dt * 1000);
+        return 1;
+        """, ("at", "499ms"))
+        assert not p.done
+        p.at("500ms")
+        assert p.done
+
+    def test_zero_timeout_next_go_time(self):
+        p = Program("await (0);\nreturn 1;")
+        p.sched.go_init()
+        assert not p.done
+        p.sched.go_time(0)
+        assert p.done
+
+    def test_time_cannot_go_backwards(self):
+        p = Program("await 1s;")
+        p.sched.go_init()
+        p.sched.go_time(5_000)
+        with pytest.raises(RuntimeCeuError):
+            p.sched.go_time(4_000)
+
+    def test_killed_timers_do_not_fire(self):
+        p = run_program("""
+        input void Stop;
+        int n = 0;
+        par/or do
+           loop do
+              await 10ms;
+              n = n + 1;
+           end
+        with
+           await Stop;
+        end
+        await 100ms;
+        return n;
+        """, ("adv", "25ms"), ("ev", "Stop"), ("adv", "1s"))
+        assert p.result == 2
+
+    def test_next_deadline_exposed(self):
+        p = Program("await 30ms;")
+        p.sched.go_init()
+        assert p.sched.next_deadline() == 30_000
+
+    def test_sampling_archetype(self):
+        # par/and: the body reruns every 100ms *at minimum*
+        # (once at boot, then on every 100ms boundary until the watchdog)
+        p = run_program("""
+        int runs = 0;
+        par/or do
+           loop do
+              par/and do
+                 runs = runs + 1;
+              with
+                 await 100ms;
+              end
+           end
+        with
+           await 1s;
+        end
+        return runs;
+        """, ("at", "1s"))
+        assert p.result == 11
+
+    def test_watchdog_archetype(self):
+        # par/or: restart the computation if it misses its deadline
+        p = run_program("""
+        input void Done;
+        int timeouts = 0;
+        loop do
+           par/or do
+              await Done;
+              break;
+           with
+              await 100ms;
+              timeouts = timeouts + 1;
+           end
+        end
+        return timeouts;
+        """, ("adv", "350ms"), ("ev", "Done"))
+        assert p.result == 3

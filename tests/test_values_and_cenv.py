@@ -1,0 +1,131 @@
+"""Unit tests for the value model (C semantics) and the C environment."""
+
+import pytest
+
+from repro.lang.errors import RuntimeCeuError
+from repro.runtime.cenv import CEnv, Rand, _c_format
+from repro.runtime.values import (CellRef, FuncRef, ItemRef, c_div, c_mod,
+                                  deref_get, deref_set, truthy)
+
+
+class TestCArithmetic:
+    @pytest.mark.parametrize("a,b,q", [
+        (7, 2, 3), (-7, 2, -3), (7, -2, -3), (-7, -2, 3), (0, 5, 0),
+        (9, 3, 3), (-9, 3, -3),
+    ])
+    def test_div_truncates_toward_zero(self, a, b, q):
+        assert c_div(a, b) == q
+
+    @pytest.mark.parametrize("a,b", [(7, 2), (-7, 2), (7, -2), (-7, -2),
+                                     (13, 5), (-13, 5)])
+    def test_div_mod_identity(self, a, b):
+        assert c_div(a, b) * b + c_mod(a, b) == a
+
+    def test_division_by_zero(self):
+        with pytest.raises(RuntimeCeuError):
+            c_div(1, 0)
+        with pytest.raises(RuntimeCeuError):
+            c_mod(1, 0)
+
+    def test_truthiness(self):
+        assert not truthy(0) and not truthy(None)
+        assert truthy(1) and truthy(-1) and truthy("x")
+        assert truthy(object())
+
+
+class TestRefs:
+    def test_cell_ref(self):
+        store = {"k": 1}
+        ref = CellRef(store, "k")
+        assert ref.get() == 1
+        ref.set(9)
+        assert store["k"] == 9
+
+    def test_item_ref(self):
+        seq = [0, 1, 2]
+        ref = ItemRef(seq, 1)
+        ref.set(7)
+        assert seq == [0, 7, 2]
+
+    def test_func_ref(self):
+        box = [0]
+        ref = FuncRef(lambda: box[0], lambda v: box.__setitem__(0, v))
+        ref.set(4)
+        assert ref.get() == 4 and box == [4]
+
+    def test_deref_protocol(self):
+        seq = [5]
+        ref = ItemRef(seq, 0)
+        assert deref_get(ref) == 5
+        deref_set(ref, 6)
+        assert seq == [6]
+        with pytest.raises(RuntimeCeuError):
+            deref_get(42)
+        with pytest.raises(RuntimeCeuError):
+            deref_set(42, 1)
+
+
+class TestCEnv:
+    def test_parent_chain_lookup(self):
+        parent = CEnv()
+        parent.define("X", 1)
+        child = CEnv(parent)
+        assert child.lookup("X") == 1
+        child.define("X", 2)
+        assert child.lookup("X") == 2 and parent.lookup("X") == 1
+
+    def test_assign_finds_owner(self):
+        parent = CEnv()
+        parent.define("G", 1)
+        child = CEnv(parent)
+        child.assign("G", 5)
+        assert parent.lookup("G") == 5
+
+    def test_assign_unknown_defines(self):
+        env = CEnv()
+        env.assign("NEW", 3)
+        assert env.lookup("NEW") == 3
+
+    def test_stdout_shared_with_children(self):
+        parent = CEnv()
+        child = CEnv(parent)
+        child.call("printf", ("hi %d\n", 1))
+        assert parent.output() == "hi 1\n"
+
+    def test_lookup_missing(self):
+        with pytest.raises(RuntimeCeuError):
+            CEnv().lookup("nope")
+
+    def test_call_non_callable(self):
+        env = CEnv()
+        env.define("K", 3)
+        with pytest.raises(RuntimeCeuError):
+            env.call("K", ())
+
+    def test_rand_is_c89_reference(self):
+        rng = Rand()
+        rng.srand(1)
+        first = [rng.rand() for _ in range(3)]
+        rng.srand(1)
+        assert [rng.rand() for _ in range(3)] == first
+        assert all(0 <= x <= Rand.RAND_MAX for x in first)
+
+
+class TestPrintf:
+    @pytest.mark.parametrize("fmt,args,expected", [
+        ("%d", (42,), "42"),
+        ("%i + %u", (1, 2), "1 + 2"),
+        ("%s!", ("hi",), "hi!"),
+        ("%c%c", (104, 105), "hi"),
+        ("%x", (255,), "ff"),
+        ("%%", (), "%"),
+        ("%5d|", (42,), "   42|"),
+        ("%-5d|", (42,), "42   |"),
+        ("plain", (), "plain"),
+    ])
+    def test_formats(self, fmt, args, expected):
+        assert _c_format(fmt, args) == expected
+
+    def test_missing_args_leave_tail(self):
+        # fewer args than specs: the spec is dropped, not crashed
+        assert _c_format("%d %d", (1,)) == "1 "
