@@ -5,14 +5,26 @@ timing collected by pytest-benchmark, each prints the regenerated rows so
 ``pytest benchmarks/ --benchmark-only -s`` reproduces the evaluation
 section end to end.  The printed tables are also written to
 ``benchmarks/out/`` for EXPERIMENTS.md.
+
+Benchmarks may also call :func:`record_metrics` with an observability
+snapshot (``program.stats()``); everything recorded during the session is
+written to ``BENCH_observability.json`` at the repo root when the session
+ends — the machine-readable perf trajectory the ROADMAP's "fast as the
+hardware allows" goal is tracked against.
 """
 
 from __future__ import annotations
 
+import json
+import platform
 from pathlib import Path
 
 OUT_DIR = Path(__file__).parent / "out"
 OUT_DIR.mkdir(exist_ok=True)
+
+BENCH_JSON = Path(__file__).parent.parent / "BENCH_observability.json"
+
+_METRICS: dict[str, dict] = {}
 
 
 def publish(name: str, text: str) -> None:
@@ -21,3 +33,19 @@ def publish(name: str, text: str) -> None:
     print(banner)
     print(text)
     (OUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def record_metrics(name: str, stats: dict) -> None:
+    """Stash one run's metrics snapshot for ``BENCH_observability.json``."""
+    _METRICS[name] = stats
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    if not _METRICS:
+        return
+    payload = {
+        "python": platform.python_version(),
+        "runs": {name: _METRICS[name] for name in sorted(_METRICS)},
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, default=repr)
+                          + "\n")

@@ -1,0 +1,54 @@
+"""Observability ablation: cost of the hook bus.
+
+Three configurations of the same reaction-heavy workload:
+
+* **off** — no subscribers (the shipping default): the only added work is
+  one ``hooks.enabled`` check per potential event;
+* **metrics** — the metrics collector attached;
+* **full** — metrics + Chrome-trace + JSONL exporters.
+
+The benchmark asserts the paper-preserving property: *disabled*
+instrumentation must be within noise of the seed VM (< 5 % is enforced by
+the acceptance harness on ``test_vm_throughput``; here we additionally
+print the enabled-path cost so regressions in the observers themselves
+show up in the perf trajectory).
+"""
+
+import time
+
+from conftest import publish, record_metrics
+
+from repro.obs import ChromeTraceExporter, JsonlExporter
+from repro.runtime import Program
+
+from test_vm_throughput import make_fanout
+
+TRAILS = 16
+EVENTS = 300
+
+
+def run_once(mode: str) -> float:
+    program = Program(make_fanout(TRAILS), observe=mode != "off")
+    if mode == "full":
+        program.observe(ChromeTraceExporter())
+        program.observe(JsonlExporter())
+    start = time.perf_counter()
+    program.start()
+    for _ in range(EVENTS):
+        program.send("A")
+    elapsed = time.perf_counter() - start
+    if mode == "metrics":
+        record_metrics("observability_overhead", program.stats())
+    return elapsed
+
+
+def test_observability_overhead(benchmark):
+    timings = {mode: min(run_once(mode) for _ in range(3))
+               for mode in ("off", "metrics", "full")}
+    benchmark(run_once, "off")
+    rows = [f"{mode:8s} {secs * 1e3:8.2f} ms  "
+            f"(x{secs / timings['off']:.2f} vs off)"
+            for mode, secs in timings.items()]
+    publish("observability_overhead", "\n".join(rows))
+    # observers cost something, but must stay within an order of magnitude
+    assert timings["full"] < timings["off"] * 10

@@ -4,14 +4,19 @@ Commands mirror what the original `ceu` compiler offered plus the
 reproduction's analysis artifacts:
 
 =========  ==============================================================
-``check``  run all static analyses; print the verdict and statistics
-``run``    execute on the reference VM, feeding events/time from ``--ev``
-           and ``--at`` arguments in order
-``c``      emit the §4.4 C translation to stdout (or ``-o``)
-``dot``    emit the flow graph (``--flow``) or the temporal-analysis DFA
-           (default) as graphviz text
-``layout`` print the static memory layout and gate table
-=========  ==============================================================
+``check``   run all static analyses; print the verdict and statistics
+``run``     execute on the reference VM, feeding events/time from ``--ev``
+            and ``--at`` arguments in order; ``--trace`` prints the
+            reaction trace, ``--trace-json``/``--trace-jsonl`` export a
+            Perfetto-loadable Chrome trace / machine-readable JSONL, and
+            ``--stats`` prints the metrics snapshot
+``profile`` run with full instrumentation and print the metrics report
+            (``--json`` writes the raw snapshot)
+``c``       emit the §4.4 C translation to stdout (or ``-o``)
+``dot``     emit the flow graph (``--flow``) or the temporal-analysis DFA
+            (default) as graphviz text
+``layout``  print the static memory layout and gate table
+=========   =============================================================
 """
 
 from __future__ import annotations
@@ -20,12 +25,15 @@ import argparse
 import sys
 from pathlib import Path
 
+import json
+
 from .codegen import HOST, TARGET16, build_gates, build_layout, compile_to_c
 from .core import analyze
 from .dfa import build_dfa
 from .flow import build_flow
 from .lang import parse
 from .lang.errors import CeuError
+from .obs import ChromeTraceExporter, JsonlExporter, render_stats
 from .runtime import Program
 from .runtime.program import parse_time
 from .sema import bind, check_bounded
@@ -54,11 +62,9 @@ def cmd_check(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
-    source = _load(args.file)
-    program = Program(source, filename=args.file, trace=args.trace)
-    program.start()
-    for item in args.inputs or []:
+def _feed_inputs(program: Program, inputs) -> None:
+    """Drive a booted program from CLI input arguments."""
+    for item in inputs or []:
         if program.done:
             break
         if item.startswith("@"):
@@ -68,14 +74,59 @@ def cmd_run(args) -> int:
             program.send(name, int(value))
         else:
             program.send(item)
+
+
+def cmd_run(args) -> int:
+    source = _load(args.file)
+    program = Program(source, filename=args.file, trace=args.trace,
+                      observe=args.stats)
+    chrome = jsonl = None
+    if args.trace_json:
+        chrome = program.observe(ChromeTraceExporter())
+    if args.trace_jsonl:
+        jsonl = program.observe(JsonlExporter())
+    program.start()
+    _feed_inputs(program, args.inputs)
     sys.stdout.write(program.output())
     if args.trace:
         print("--- trace ---", file=sys.stderr)
         print(program.trace.render(), file=sys.stderr)
+    if chrome is not None:
+        chrome.write(args.trace_json)
+        print(f"wrote {args.trace_json}: {len(chrome.events)} trace "
+              f"events (load at https://ui.perfetto.dev)", file=sys.stderr)
+    if jsonl is not None:
+        jsonl.write(args.trace_jsonl)
+        print(f"wrote {args.trace_jsonl}: {len(jsonl.records)} events",
+              file=sys.stderr)
+    if args.stats:
+        print("--- stats ---", file=sys.stderr)
+        print(render_stats(program.stats()), file=sys.stderr)
     if program.done:
         print(f"terminated, result = {program.result}", file=sys.stderr)
         return 0
     print("awaiting further input", file=sys.stderr)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    source = _load(args.file)
+    program = Program(source, filename=args.file, observe=True)
+    chrome = None
+    if args.trace_json:
+        chrome = program.observe(ChromeTraceExporter())
+    program.start()
+    _feed_inputs(program, args.inputs)
+    stats = program.stats()
+    print(render_stats(stats))
+    if chrome is not None:
+        chrome.write(args.trace_json)
+        print(f"wrote {args.trace_json}: {len(chrome.events)} trace "
+              f"events (load at https://ui.perfetto.dev)", file=sys.stderr)
+    if args.json:
+        Path(args.json).write_text(json.dumps(stats, indent=2,
+                                              default=repr) + "\n")
+        print(f"wrote {args.json}", file=sys.stderr)
     return 0
 
 
@@ -143,8 +194,26 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("inputs", nargs="*",
                    help="event inputs: NAME, NAME=VALUE, or @TIME "
                         "(e.g. Key=2 @1s Restart)")
-    p.add_argument("--trace", action="store_true")
+    p.add_argument("--trace", action="store_true",
+                   help="print the reaction trace to stderr")
+    p.add_argument("--trace-json", metavar="FILE",
+                   help="export a Chrome/Perfetto trace-event file")
+    p.add_argument("--trace-jsonl", metavar="FILE",
+                   help="export every hook event as JSON lines")
+    p.add_argument("--stats", action="store_true",
+                   help="collect metrics and print the snapshot")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("profile",
+                       help="run fully instrumented; print metrics")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*",
+                   help="event inputs: NAME, NAME=VALUE, or @TIME")
+    p.add_argument("--json", metavar="FILE",
+                   help="write the raw metrics snapshot as JSON")
+    p.add_argument("--trace-json", metavar="FILE",
+                   help="also export a Chrome/Perfetto trace-event file")
+    p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("c", help="emit the C translation")
     p.add_argument("file")

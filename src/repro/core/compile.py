@@ -46,8 +46,9 @@ class CompiledUnit:
 
     # ----------------------------------------------------------- execution
     def instantiate(self, cenv: Optional[CEnv] = None,
-                    trace: bool = False) -> Program:
-        return Program(self.bound, cenv=cenv, trace=trace, check=False)
+                    trace: bool = False, observe: bool = False) -> Program:
+        return Program(self.bound, cenv=cenv, trace=trace,
+                       observe=observe, check=False)
 
 
 def analyze(source: str, check_determinism: bool = True,

@@ -1,0 +1,18 @@
+"""Runtime observability: hook bus, metrics, and trace exporters.
+
+Zero-dependency and off by default — with no subscribers the hook bus is
+a guarded no-op and the VM behaves (and performs) exactly as before.
+See ``docs/OBSERVABILITY.md`` for the taxonomy and usage.
+"""
+
+from .export import ChromeTraceExporter, JsonlExporter
+from .hooks import HOOK_EVENTS, EventLog, HookBus, HookSubscriber
+from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
+                      MetricsRegistry, render_stats)
+
+__all__ = [
+    "HOOK_EVENTS", "HookBus", "HookSubscriber", "EventLog",
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "MetricsCollector", "render_stats",
+    "ChromeTraceExporter", "JsonlExporter",
+]

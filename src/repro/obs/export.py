@@ -1,0 +1,181 @@
+"""Trace export: Chrome trace-event JSON (Perfetto-loadable) and JSONL.
+
+The Chrome format (``chrome://tracing`` / https://ui.perfetto.dev) maps
+naturally onto the VM: one *process* is the VM, one *thread track* per
+trail (plus track 0 for the scheduler), one slice per reaction on the
+scheduler track, one slice per trail run (resume → halt) on the trail's
+track, and instant events for internal emits, output emits, timer
+activity, and kills.
+
+Timestamps are VM microseconds.  Within one reaction the VM clock does
+not advance, so the exporter keeps a *monotone* timeline: whenever the
+clock stands still, successive events are nudged forward by 1 ns
+(0.001 µs) — orders stay exact, slices stay properly nested, and the
+Perfetto zoom level at which the nudges are visible is far below any
+real deadline spacing.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable
+
+from .hooks import HOOK_EVENTS, HookSubscriber
+
+_SCHED_TID = 0
+
+
+class ChromeTraceExporter(HookSubscriber):
+    """Collects Chrome trace events; ``write()`` emits the JSON file."""
+
+    def __init__(self, pid: int = 1, process_name: str = "repro-vm"):
+        self.pid = pid
+        self.events: list[dict] = []
+        self._tids: dict[str, int] = {}
+        self._open: dict[int, int] = {}    # tid -> open "B" depth
+        self._ts = 0.0
+        self._clock = 0
+        self._meta("process_name", {"name": process_name})
+        self._thread(_SCHED_TID, "scheduler")
+
+    # ------------------------------------------------------------ plumbing
+    def _meta(self, name: str, args: dict, tid: int = _SCHED_TID) -> None:
+        self.events.append({"ph": "M", "name": name, "pid": self.pid,
+                            "tid": tid, "args": args})
+
+    def _thread(self, tid: int, name: str) -> None:
+        self._meta("thread_name", {"name": name}, tid=tid)
+
+    def _tid(self, trail: str) -> int:
+        tid = self._tids.get(trail)
+        if tid is None:
+            tid = self._tids[trail] = len(self._tids) + 1
+            self._thread(tid, trail)
+        return tid
+
+    def _tick(self, time_us: int) -> float:
+        """Monotone event timestamp in µs."""
+        if time_us > self._clock:
+            self._clock = time_us
+            self._ts = float(time_us)
+        else:
+            self._ts += 0.001
+        return self._ts
+
+    def _begin(self, tid: int, name: str, time_us: int,
+               args: dict) -> None:
+        self.events.append({"ph": "B", "name": name, "pid": self.pid,
+                            "tid": tid, "ts": self._tick(time_us),
+                            "args": args})
+        self._open[tid] = self._open.get(tid, 0) + 1
+
+    def _end(self, tid: int, time_us: int, args: dict) -> None:
+        if self._open.get(tid, 0) <= 0:
+            return  # never emit an unmatched "E"
+        self._open[tid] -= 1
+        self.events.append({"ph": "E", "pid": self.pid, "tid": tid,
+                            "ts": self._tick(time_us), "args": args})
+
+    def _instant(self, tid: int, name: str, time_us: int,
+                 args: dict) -> None:
+        self.events.append({"ph": "i", "name": name, "pid": self.pid,
+                            "tid": tid, "ts": self._tick(time_us),
+                            "s": "t", "args": args})
+
+    # --------------------------------------------------------------- hooks
+    def on_reaction_begin(self, index, trigger, value, time_us) -> None:
+        self._begin(_SCHED_TID, f"reaction {trigger}", time_us,
+                    {"index": index, "value": repr(value)})
+
+    def on_reaction_end(self, index, trigger, steps, wall_ns) -> None:
+        self._end(_SCHED_TID, self._clock,
+                  {"steps": steps, "wall_ns": wall_ns})
+
+    def on_trail_spawn(self, trail, path, time_us) -> None:
+        self._instant(self._tid(trail), "spawn", time_us,
+                      {"path": list(path)})
+
+    def on_trail_resume(self, trail, path, time_us) -> None:
+        self._begin(self._tid(trail), trail, time_us,
+                    {"path": list(path)})
+
+    def on_trail_halt(self, trail, path, waiting, time_us) -> None:
+        self._end(self._tid(trail), time_us, {"waiting": waiting})
+
+    def on_trail_kill(self, trail, path, time_us) -> None:
+        tid = self._tid(trail)
+        # a kill may interrupt a halted trail with no open slice
+        self._end(tid, time_us, {"waiting": "killed"})
+        self._instant(tid, "kill", time_us, {"path": list(path)})
+
+    def on_emit_internal(self, name, depth, trail, time_us) -> None:
+        self._instant(self._tid(trail), f"emit {name}", time_us,
+                      {"depth": depth})
+
+    def on_emit_output(self, name, value, time_us) -> None:
+        self._instant(_SCHED_TID, f"output {name}", time_us,
+                      {"value": repr(value)})
+
+    def on_timer_schedule(self, deadline_us, trail, time_us) -> None:
+        self._instant(self._tid(trail), "timer armed", time_us,
+                      {"deadline_us": deadline_us})
+
+    def on_timer_fire(self, deadline_us, delta_us, n_trails) -> None:
+        self._instant(_SCHED_TID, "timer fire", deadline_us,
+                      {"deadline_us": deadline_us, "delta_us": delta_us,
+                       "n_trails": n_trails})
+
+    def on_async_step(self, job, kind, time_us) -> None:
+        self._instant(_SCHED_TID, f"async {kind}", time_us,
+                      {"job": job})
+
+    def on_region_kill(self, region, n_trails, time_us) -> None:
+        self._instant(_SCHED_TID, "region kill", time_us,
+                      {"region": list(region), "n_trails": n_trails})
+
+    # -------------------------------------------------------------- output
+    def to_json(self) -> dict:
+        events = list(self.events)
+        # close any slices left open by an aborted run
+        ts = self._ts
+        for tid, depth in self._open.items():
+            for _ in range(depth):
+                ts += 0.001
+                events.append({"ph": "E", "pid": self.pid, "tid": tid,
+                               "ts": ts, "args": {}})
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            json.dump(self.to_json(), fh)
+
+
+class JsonlExporter(HookSubscriber):
+    """Machine-readable export: one JSON object per hook event, fields
+    named per :data:`~repro.obs.hooks.HOOK_EVENTS`."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def lines(self) -> list[str]:
+        return [json.dumps(r, default=repr) for r in self.records]
+
+    def write(self, path) -> None:
+        with open(path, "w") as fh:
+            for line in self.lines():
+                fh.write(line + "\n")
+
+
+def _jsonl_recorder(event: str, fields: tuple[str, ...]) -> Callable:
+    def record(self, *args) -> None:
+        rec = {"ev": event, "seq": len(self.records)}
+        rec.update(zip(fields, args))
+        self.records.append(rec)
+
+    record.__name__ = f"on_{event}"
+    return record
+
+
+for _name, _fields in HOOK_EVENTS.items():
+    setattr(JsonlExporter, f"on_{_name}", _jsonl_recorder(_name, _fields))
+del _name, _fields

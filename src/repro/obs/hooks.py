@@ -1,0 +1,144 @@
+"""The instrumentation hook bus.
+
+Every interesting runtime event — a reaction chain starting, a trail
+resuming or halting, an internal ``emit`` (with its §2.2 stack depth), a
+timer arming or firing, an async step, a region kill — is announced on a
+:class:`HookBus`.  Subscribers (the :class:`~repro.runtime.trace.Trace`
+recorder, the metrics collector, the Perfetto/JSONL exporters, or any
+user-supplied :class:`HookSubscriber`) receive the events they care about
+and ignore the rest.
+
+The bus is **off by default**: with no subscribers, ``bus.enabled`` is
+``False`` and the emitting sites (scheduler, interpreter, DES kernel,
+platforms) skip dispatch entirely — one attribute load and a branch per
+potential event, so the reference VM's speed and semantics are untouched.
+
+The event taxonomy lives in :data:`HOOK_EVENTS`; the dispatch methods on
+:class:`HookBus` and the JSONL exporter are both generated from it, so
+the taxonomy, the bus, and the machine-readable export cannot drift
+apart.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+#: The full hook taxonomy: event name → ordered field names.
+#: ``time_us`` is always the VM wall-clock (integer microseconds);
+#: ``wall_ns`` is host wall-clock (``perf_counter_ns``) and the only
+#: nondeterministic field in the taxonomy.
+HOOK_EVENTS: dict[str, tuple[str, ...]] = {
+    # reaction chains (§2, §4.5)
+    "reaction_begin": ("index", "trigger", "value", "time_us"),
+    "reaction_end": ("index", "trigger", "steps", "wall_ns"),
+    # one interpreter statement (the unit of `note_step`)
+    "step": ("trail", "path", "kind", "line"),
+    # trail lifecycle (§2.1, §4.3)
+    "trail_spawn": ("trail", "path", "time_us"),
+    "trail_resume": ("trail", "path", "time_us"),
+    "trail_halt": ("trail", "path", "waiting", "time_us"),
+    "trail_kill": ("trail", "path", "time_us"),
+    # an await about to suspend (emitted by the interpreter;
+    # target is "ext:NAME" | "int:NAME" | "time" | "forever")
+    "await_begin": ("trail", "target", "time_us"),
+    # internal events: depth is the §2.2 emit-stack depth (1 = outermost)
+    "emit_internal": ("name", "depth", "trail", "time_us"),
+    "emit_output": ("name", "value", "time_us"),
+    # timers (§2.3)
+    "timer_schedule": ("deadline_us", "trail", "time_us"),
+    "timer_fire": ("deadline_us", "delta_us", "n_trails"),
+    # asyncs (§2.7); kind is "tick" | "emit_ext" | "emit_time" | "done"
+    "async_step": ("job", "kind", "time_us"),
+    # region destruction (§4.3)
+    "region_kill": ("region", "n_trails", "time_us"),
+    # discrete-event simulation kernel
+    "des_schedule": ("handle", "at_us", "now_us"),
+    "des_fire": ("handle", "now_us"),
+    "des_cancel": ("handle", "now_us"),
+}
+
+
+class HookSubscriber:
+    """Base class for hook consumers: a no-op ``on_<event>`` per taxonomy
+    entry.  Override only what you need."""
+
+
+def _noop(self, *args) -> None:
+    return None
+
+
+for _name in HOOK_EVENTS:
+    setattr(HookSubscriber, f"on_{_name}", _noop)
+
+
+class HookBus:
+    """Fans events out to subscribers.
+
+    ``bus.enabled`` is kept in sync with the subscriber list so emitting
+    sites can guard with a single cheap check::
+
+        if self.hooks.enabled:
+            self.hooks.reaction_begin(i, trigger, value, now)
+    """
+
+    __slots__ = ("subscribers", "enabled")
+
+    def __init__(self) -> None:
+        self.subscribers: list[HookSubscriber] = []
+        self.enabled = False
+
+    def subscribe(self, subscriber: HookSubscriber) -> HookSubscriber:
+        if subscriber not in self.subscribers:
+            self.subscribers.append(subscriber)
+        self.enabled = True
+        return subscriber
+
+    def unsubscribe(self, subscriber: HookSubscriber) -> None:
+        if subscriber in self.subscribers:
+            self.subscribers.remove(subscriber)
+        self.enabled = bool(self.subscribers)
+
+
+def _dispatcher(event: str) -> Callable:
+    handler = f"on_{event}"
+
+    def dispatch(self, *args) -> None:
+        for sub in self.subscribers:
+            getattr(sub, handler)(*args)
+
+    dispatch.__name__ = event
+    dispatch.__doc__ = f"Dispatch ``{event}{HOOK_EVENTS[event]}``."
+    return dispatch
+
+
+for _name in HOOK_EVENTS:
+    setattr(HookBus, _name, _dispatcher(_name))
+
+
+class EventLog(HookSubscriber):
+    """Records every event as ``(name, {field: value})`` — the simplest
+    subscriber, used by tests and the JSONL exporter's foundation."""
+
+    def __init__(self) -> None:
+        self.events: list[tuple[str, dict]] = []
+
+    def names(self) -> list[str]:
+        return [name for name, _ in self.events]
+
+    def of(self, *names: str) -> list[tuple[str, dict]]:
+        wanted = set(names)
+        return [(n, f) for n, f in self.events if n in wanted]
+
+
+def _recorder(event: str, fields: tuple[str, ...]) -> Callable:
+    def record(self, *args) -> None:
+        self.events.append((event, dict(zip(fields, args))))
+
+    record.__name__ = f"on_{event}"
+    return record
+
+
+for _name, _fields in HOOK_EVENTS.items():
+    setattr(EventLog, f"on_{_name}", _recorder(_name, _fields))
+
+del _name, _fields

@@ -85,7 +85,7 @@ class ArduinoBoard:
     """A board hosting one Céu program."""
 
     def __init__(self, source: str, extra_env: Optional[dict] = None,
-                 trace: bool = False):
+                 trace: bool = False, observe: bool = False):
         self.lcd = Lcd()
         self.analog: dict[int, AnalogScript] = {}
         self.pins: dict[int, int] = {}
@@ -103,7 +103,7 @@ class ArduinoBoard:
         if extra_env:
             cenv.define_many(extra_env)
         self.program = Program(source, cenv=cenv, trace=trace,
-                               filename="arduino.ceu")
+                               observe=observe, filename="arduino.ceu")
         self.lcd.bind_clock(lambda: self.program.clock)
 
     # ----------------------------------------------------------- bindings
@@ -141,3 +141,12 @@ class ArduinoBoard:
 
     def send_key_event(self, name: str, value: int = 0) -> None:
         self.program.send(name, value)
+
+    def stats(self) -> dict:
+        """Board snapshot: VM metrics plus board-side activity."""
+        stats = self.program.stats()
+        stats["board"] = {
+            "lcd_frames": len(self.lcd.frames),
+            "pin_writes": len(self.pin_history),
+        }
+        return stats

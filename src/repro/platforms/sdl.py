@@ -58,7 +58,7 @@ class SdlHost:
 
     def __init__(self, source: str, key_script: Optional[set] = None,
                  seed: int = 42, extra_env: Optional[dict] = None,
-                 trace: bool = False):
+                 trace: bool = False, observe: bool = False):
         self.screen = Screen()
         self.key_script = set(key_script or ())
         self.poll_count = 0
@@ -76,7 +76,7 @@ class SdlHost:
         if extra_env:
             cenv.define_many(extra_env)
         self.program = Program(source, cenv=cenv, trace=trace,
-                               filename="sdl.ceu")
+                               observe=observe, filename="sdl.ceu")
 
     def _poll_event(self, event_ptr) -> int:
         self.poll_count += 1
@@ -98,3 +98,13 @@ class SdlHost:
         """Standalone mode: boot and let the program drive itself."""
         self.program.start()
         self.program.run(max_async_steps=max_async_steps)
+
+    def stats(self) -> dict:
+        """Host snapshot: VM metrics plus SDL-side activity."""
+        stats = self.program.stats()
+        stats["sdl"] = {
+            "polls": self.poll_count,
+            "frames": len(self.screen.frames),
+            "sdl_clock_ms": self.sdl_clock_ms,
+        }
+        return stats

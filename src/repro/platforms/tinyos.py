@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Optional
 
+from ..obs.hooks import HookBus
+from ..obs.metrics import MetricsRegistry
 from ..runtime import CEnv, Program
 from ..runtime.values import ItemRef, Ref
 from ..sim.des import Rng, Simulator
@@ -78,7 +80,9 @@ class Mote:
         })
         if extra_env:
             cenv.define_many(extra_env)
-        self.program = Program(source, cenv=cenv,
+        # each mote gets its own hook bus: reaction streams of different
+        # schedulers must not interleave on one exporter track set
+        self.program = Program(source, cenv=cenv, observe=world.observe,
                                filename=f"mote{node_id}.ceu")
         self.cenv = cenv
 
@@ -155,8 +159,12 @@ class TinyOsWorld:
     """
 
     def __init__(self, latency_us: int = 5_000, loss: float = 0.0,
-                 seed: int = 7):
-        self.sim = Simulator()
+                 seed: int = 7, observe: bool = False,
+                 hooks: Optional[HookBus] = None):
+        self.hooks = hooks if hooks is not None else HookBus()
+        self.observe = observe
+        self.sim = Simulator(hooks=self.hooks)
+        self.metrics = MetricsRegistry()
         self.base_env = CEnv()
         self.motes: dict[int, Mote] = {}
         self.latency_us = latency_us
@@ -178,15 +186,20 @@ class TinyOsWorld:
 
     # ------------------------------------------------------------- radio
     def deliver(self, src: int, dest: int, msg: Message) -> None:
+        self.metrics.counter("radio.sent").inc()
         sender = self.motes.get(src)
         if sender is not None and not sender.up:
+            self.metrics.counter("radio.suppressed_down").inc()
             return  # a downed mote transmits nothing
         if self.loss and self.rng.chance(self.loss):
             self.dropped.append((self.sim.now, src, dest))
+            self.metrics.counter("radio.dropped").inc()
             return
         target = self.motes.get(dest)
         if target is None:
+            self.metrics.counter("radio.unroutable").inc()
             return
+        self.metrics.counter("radio.delivered").inc()
         self.sim.after(self.latency_us, lambda: target.receive(msg))
 
     # ------------------------------------------------------------- timers
@@ -210,6 +223,18 @@ class TinyOsWorld:
             return
         mote.sync_time()
         self.arm_timer(mote)
+
+    # ------------------------------------------------------- observability
+    def stats(self) -> dict:
+        """World-level snapshot: DES kernel, radio counters, and (when
+        ``observe=True``) each mote's VM metrics."""
+        return {
+            "sim": self.sim.stats(),
+            "radio": self.metrics.snapshot()["counters"],
+            "dropped": len(self.dropped),
+            "motes": {node_id: mote.program.stats()
+                      for node_id, mote in sorted(self.motes.items())},
+        }
 
     # ---------------------------------------------------------------- run
     def run_until(self, time_us: int) -> None:

@@ -119,22 +119,35 @@ class Interp:
 
     def exec_await(self, s: ast.Stmt, trail: Trail):
         if isinstance(s, ast.AwaitExt):
+            self._note_await(trail, f"ext:{self.bound.event_of[s.nid].name}")
             value = yield ("ext", self.bound.event_of[s.nid])
             return value
         if isinstance(s, ast.AwaitInt):
+            self._note_await(trail, f"int:{self.bound.event_of[s.nid].name}")
             value = yield ("int", self.bound.event_of[s.nid])
             return value
         if isinstance(s, ast.AwaitTime):
+            self._note_await(trail, "time")
             delta = yield ("time", s.time.us)
             return delta
         if isinstance(s, ast.AwaitExp):
             us = as_int(self.ev.eval(s.exp), "await timeout")
+            self._note_await(trail, "time")
             delta = yield ("time", us)
             return delta
         if isinstance(s, ast.AwaitForever):
+            self._note_await(trail, "forever")
             yield ("forever",)
             raise RuntimeCeuError("awoke from `await forever`", s.span)
         raise RuntimeCeuError("bad await", s.span)
+
+    def _note_await(self, trail: Trail, target: str) -> None:
+        """Announce an await about to suspend on the observability bus
+        (the interpreter knows the *target name*; the scheduler's later
+        ``trail_halt`` only knows the suspension kind)."""
+        hooks = self.sched.hooks
+        if hooks.enabled:
+            hooks.await_begin(trail.label, target, self.sched.clock)
 
     def exec_setexp(self, value: ast.Node, trail: Trail):
         if isinstance(value, ast.Exp):

@@ -8,6 +8,7 @@ from ..lang import ast
 from ..lang.lexer import tokenize
 from ..lang.parser import parse
 from ..lang.tokens import TokKind
+from ..obs.hooks import HookBus, HookSubscriber
 from ..sema.binder import BoundProgram, bind
 from ..sema.bounded import check_bounded
 from .cenv import CEnv
@@ -41,6 +42,7 @@ class Program:
 
     def __init__(self, source: Union[str, ast.Program, BoundProgram],
                  cenv: Optional[CEnv] = None, trace: bool = False,
+                 observe: bool = False, hooks: Optional[HookBus] = None,
                  check: bool = True, filename: str = "<ceu>",
                  compensate_deltas: bool = True, glitch_free: bool = True):
         if isinstance(source, str):
@@ -55,13 +57,30 @@ class Program:
         self.bound = bound
         self.trace = Trace(enabled=trace)
         self.sched = Scheduler(bound, cenv=cenv, trace=self.trace,
+                               hooks=hooks,
                                compensate_deltas=compensate_deltas,
                                glitch_free=glitch_free)
+        if observe:
+            self.sched.enable_metrics()
 
     # ------------------------------------------------------------ plumbing
     @property
     def cenv(self) -> CEnv:
         return self.sched.cenv
+
+    # -------------------------------------------------------- observability
+    @property
+    def hooks(self) -> HookBus:
+        """The scheduler's instrumentation bus (docs/OBSERVABILITY.md)."""
+        return self.sched.hooks
+
+    def observe(self, subscriber: HookSubscriber) -> HookSubscriber:
+        """Subscribe ``subscriber`` (e.g. an exporter) to the hook bus."""
+        return self.sched.hooks.subscribe(subscriber)
+
+    def stats(self) -> dict:
+        """Metrics snapshot — see :meth:`Scheduler.stats`."""
+        return self.sched.stats()
 
     @property
     def done(self) -> bool:

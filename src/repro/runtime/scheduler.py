@@ -22,11 +22,14 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections import deque
 from typing import Any, Callable, Optional
 
 from ..lang import ast
 from ..lang.errors import RuntimeCeuError
+from ..obs.hooks import HookBus
+from ..obs.metrics import MetricsCollector, MetricsRegistry
 from ..sema.binder import BoundProgram
 from ..sema.symbols import EventSymbol
 from .asyncs import AsyncInterp, AsyncJob
@@ -47,6 +50,7 @@ class Scheduler:
 
     def __init__(self, bound: BoundProgram, cenv: Optional[CEnv] = None,
                  trace: Optional[Trace] = None,
+                 hooks: Optional[HookBus] = None,
                  step_limit: int = 5_000_000,
                  compensate_deltas: bool = True,
                  glitch_free: bool = True):
@@ -61,7 +65,14 @@ class Scheduler:
         self.ev = Evaluator(bound, self.memory, self.cenv)
         self.interp = Interp(bound, self.ev, self)
         self.async_interp = AsyncInterp(bound, self.ev)
+        #: instrumentation (docs/OBSERVABILITY.md) — a no-op unless
+        #: someone subscribes; the Trace recorder is one subscriber
+        self.hooks = hooks if hooks is not None else HookBus()
         self.trace = trace if trace is not None else Trace(enabled=False)
+        if self.trace.enabled:
+            self.hooks.subscribe(self.trace)
+        self.metrics = MetricsRegistry()
+        self._metrics_collector: Optional[MetricsCollector] = None
 
         self.clock = 0                     # wall-clock, microseconds
         self.done = False
@@ -85,6 +96,8 @@ class Scheduler:
         self._region_seq = itertools.count(1)
         self._reacting = False
         self._current_base = 0
+        self._steps_this_reaction = 0
+        self._emit_depth = 0               # §2.2 emit-stack depth
         self._live: set[Trail] = set()
         self.root: Optional[Trail] = None
 
@@ -110,6 +123,44 @@ class Scheduler:
             return 0
         return self._depth.get(node.nid, 0)
 
+    # ------------------------------------------------------- observability
+    def enable_metrics(self) -> MetricsRegistry:
+        """Attach (once) a metrics collector to the hook bus."""
+        if self._metrics_collector is None:
+            self._metrics_collector = MetricsCollector(self.metrics,
+                                                       sampled=self)
+            self.hooks.subscribe(self._metrics_collector)
+        return self.metrics
+
+    def stats(self) -> dict:
+        """Snapshot of the documented metric set (docs/OBSERVABILITY.md).
+
+        The ``runtime`` block is always live (sampled on demand); the
+        counter/histogram blocks fill in once :meth:`enable_metrics` (or
+        ``Program(..., observe=True)``) has attached the collector.
+        """
+        snap = self.metrics.snapshot()
+        snap["runtime"] = {
+            "clock_us": self.clock,
+            "reactions_total": self.reaction_count,
+            "steps_total": self.steps_executed,
+            "live_trails": len(self._live),
+            "awaiting": self.awaiting_count(),
+            "timer_heap_size": len(self.timers),
+            "async_jobs": len(self.async_jobs),
+            "input_queue_depth": len(self.input_queue),
+            "done": self.done,
+            "observed": self._metrics_collector is not None,
+        }
+        latency = self.metrics.histograms.get("reaction_latency_us")
+        if latency is not None and latency.total:
+            snap["derived"] = {
+                "reactions_per_sec": latency.count * 1e6 / latency.total,
+                "steps_per_reaction_mean":
+                    self.metrics.histograms["steps_per_reaction"].mean,
+            }
+        return snap
+
     # ---------------------------------------------------------- public API
     def go_init(self) -> str:
         """Boot reaction (``ceu_go_init``)."""
@@ -119,6 +170,8 @@ class Scheduler:
         trail.gen = self.interp.trail_body(self.bound.program.body, trail)
         self.root = trail
         self._live.add(trail)
+        if self.hooks.enabled:
+            self.hooks.trail_spawn(trail.label, trail.path, self.clock)
         self._react("boot", None,
                     lambda: self._enqueue_resume(trail, None))
         return TERMINATED if self.done else RUNNING
@@ -165,6 +218,8 @@ class Scheduler:
                 if trail.alive and trail.waiting == "time":
                     batch.append((seq, trail))
             delta = now - deadline
+            if self.hooks.enabled:
+                self.hooks.timer_fire(deadline, delta, len(batch))
 
             def seed(batch=batch, delta=delta) -> None:
                 for _, trail in sorted(batch):
@@ -195,6 +250,8 @@ class Scheduler:
             self._complete_async(job, stop.value)
             return TERMINATED if self.done else RUNNING
         kind = req[0]
+        if self.hooks.enabled:
+            self.hooks.async_step(job.seq, kind, self.clock)
         if kind == "emit_ext":
             _, sym, value = req
             if job.aborted:
@@ -245,9 +302,14 @@ class Scheduler:
             return
         self._reacting = True
         self._current_base = self.clock if base is None else base
+        index = self.reaction_count
         self.reaction_count += 1
-        self.trace.begin(trigger, value, self._current_base)
         self._steps_this_reaction = 0
+        hooked = self.hooks.enabled
+        if hooked:
+            start_ns = time.perf_counter_ns()
+            self.hooks.reaction_begin(index, trigger, value,
+                                      self._current_base)
         try:
             seed()
             while self._heap and not self.done:
@@ -263,7 +325,10 @@ class Scheduler:
         finally:
             self._heap.clear()
             self._reacting = False
-            self.trace.end()
+            if hooked:
+                self.hooks.reaction_end(
+                    index, trigger, self._steps_this_reaction,
+                    time.perf_counter_ns() - start_ns)
         self._check_termination()
 
     def _enqueue_resume(self, trail: Trail, value: Any) -> None:
@@ -308,6 +373,9 @@ class Scheduler:
         """Run one trail until it halts (one atomic *track*, §4.4)."""
         trail.waiting = None
         trail.time_base = self._current_base
+        hooks = self.hooks
+        if hooks.enabled:
+            hooks.trail_resume(trail.label, trail.path, self.clock)
         try:
             if not trail.started:
                 trail.started = True
@@ -315,12 +383,20 @@ class Scheduler:
             else:
                 req = trail.gen.send(value)
         except StopIteration:
+            if hooks.enabled:
+                hooks.trail_halt(trail.label, trail.path, "done",
+                                 self.clock)
             self._trail_completed(trail)
             return
         except (BreakSignal, ReturnSignal) as sig:
+            if hooks.enabled:
+                hooks.trail_halt(trail.label, trail.path, "escape",
+                                 self.clock)
             self._trail_signal(trail, sig)
             return
         self._register(trail, req)
+        if hooks.enabled:
+            hooks.trail_halt(trail.label, trail.path, req[0], self.clock)
 
     def _register(self, trail: Trail, req: tuple) -> None:
         kind = req[0]
@@ -337,6 +413,8 @@ class Scheduler:
             deadline = base + timeout
             heapq.heappush(self.timers,
                            (deadline, next(self._seq), trail))
+            if self.hooks.enabled:
+                self.hooks.timer_schedule(deadline, trail.label, self.clock)
             # an already-late deadline is picked up by the next go_time
         elif kind == "forever":
             self.forever.append(trail)
@@ -393,6 +471,8 @@ class Scheduler:
                           branch_index=i, label=label)
             child.gen = self.interp.trail_body(block, child)
             self._live.add(child)
+            if self.hooks.enabled:
+                self.hooks.trail_spawn(child.label, child.path, self.clock)
             self._enqueue_resume(child, None)
         return join
 
@@ -400,10 +480,15 @@ class Scheduler:
         """Destroy every trail/async in ``prefix`` — the VM analogue of
         clearing a contiguous gate range with ``memset`` (§4.3)."""
         victims = [t for t in self._live if t.in_region(prefix)]
+        hooked = self.hooks.enabled
+        if hooked and victims:
+            self.hooks.region_kill(prefix, len(victims), self.clock)
         for trail in victims:
             trail.alive = False
             self._live.discard(trail)
             trail.gen.close()
+            if hooked:
+                self.hooks.trail_kill(trail.label, trail.path, self.clock)
         if self.async_jobs:
             kept = deque()
             for job in self.async_jobs:
@@ -423,17 +508,27 @@ class Scheduler:
                       emitter: Trail) -> None:
         """Stack policy (§2.2): run every awaiting trail to halt *now*,
         then return control to the emitter (the Python call stack is the
-        emit stack)."""
-        self.trace.emit_internal(sym.name)
-        waiting = self.int_waiting.get(sym.name)
-        if not waiting:
-            return  # no one awaiting: the occurrence is discarded
-        self.int_waiting[sym.name] = []
-        for trail in waiting:
-            if trail.alive and trail.waiting == "int":
-                self._run_trail(trail, value)
+        emit stack).  ``_emit_depth`` measures that stack: 1 for a
+        top-level emit, +1 per nested emit triggered from an awakened
+        trail."""
+        self._emit_depth += 1
+        if self.hooks.enabled:
+            self.hooks.emit_internal(sym.name, self._emit_depth,
+                                     emitter.label, self.clock)
+        try:
+            waiting = self.int_waiting.get(sym.name)
+            if not waiting:
+                return  # no one awaiting: the occurrence is discarded
+            self.int_waiting[sym.name] = []
+            for trail in waiting:
+                if trail.alive and trail.waiting == "int":
+                    self._run_trail(trail, value)
+        finally:
+            self._emit_depth -= 1
 
     def emit_output(self, sym: EventSymbol, value: Any) -> None:
+        if self.hooks.enabled:
+            self.hooks.emit_output(sym.name, value, self.clock)
         if self.output_handler is not None:
             self.output_handler(sym.name, value)
 
@@ -459,6 +554,8 @@ class Scheduler:
     def _complete_async(self, job: AsyncJob, value: Any) -> None:
         job.done = True
         job.result = value
+        if self.hooks.enabled:
+            self.hooks.async_step(job.seq, "done", self.clock)
         if self.async_jobs and self.async_jobs[0] is job:
             self.async_jobs.popleft()
         if job.aborted or not job.owner.alive:
@@ -480,9 +577,12 @@ class Scheduler:
         self.done = True
         self.result = value
         self._heap.clear()
+        hooked = self.hooks.enabled
         for trail in list(self._live):
             trail.alive = False
             trail.gen.close()
+            if hooked:
+                self.hooks.trail_kill(trail.label, trail.path, self.clock)
         self._live.clear()
         self.ext_waiting.clear()
         self.int_waiting.clear()
@@ -499,15 +599,14 @@ class Scheduler:
                 and not self.input_queue):
             self.done = True
 
-    # ---------------------------------------------------------------- trace
+    # ---------------------------------------------------------------- hooks
     def note_step(self, trail: Trail, stmt: ast.Stmt) -> None:
         self.steps_executed += 1
-        self._steps_this_reaction = getattr(self, "_steps_this_reaction",
-                                            0) + 1
+        self._steps_this_reaction += 1
         if self._steps_this_reaction > self.step_limit:
             raise RuntimeCeuError(
                 "reaction chain exceeded the step limit — unbounded "
                 "execution (should have been caught by §2.5 analysis)")
-        if self.trace.enabled:
-            self.trace.step(trail.label, trail.path,
+        if self.hooks.enabled:
+            self.hooks.step(trail.label, trail.path,
                             type(stmt).__name__, stmt.span.start.line)

@@ -4,12 +4,21 @@ The trace reproduces the diagrams of the paper (Figure 1's reaction chains,
 the §2.2 internal-event stack walk-through) and backs the determinism
 property tests: two runs fed the same input order must produce *identical*
 traces.
+
+Since the observability layer landed, :class:`Trace` is one subscriber of
+the scheduler's hook bus (:mod:`repro.obs.hooks`) rather than a privileged
+recorder: the scheduler announces reactions, steps, and internal emits on
+the bus, and the trace materialises them into :class:`Reaction` rows.  Its
+reporting surface (``reactions`` / ``render`` / ``triggers`` /
+``signature``) is unchanged.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Any, Optional
+
+from ..obs.hooks import HookSubscriber
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,32 +59,34 @@ class Reaction:
         return f"#{self.index} {self.trigger}{mark}: {body}"
 
 
-class Trace:
-    """Recorder installed on a scheduler (``Program(..., trace=True)``)."""
+class Trace(HookSubscriber):
+    """Recorder subscribed to a scheduler's hook bus
+    (``Program(..., trace=True)``)."""
 
     def __init__(self, enabled: bool = True):
         self.enabled = enabled
         self.reactions: list[Reaction] = []
         self._current: Optional[Reaction] = None
 
-    # hooks called by the scheduler -----------------------------------
-    def begin(self, trigger: str, value: Any, time_us: int) -> None:
-        if not self.enabled:
-            return
+    # hook-bus subscription --------------------------------------------
+    def on_reaction_begin(self, index: int, trigger: str, value: Any,
+                          time_us: int) -> None:
         self._current = Reaction(len(self.reactions), trigger, value,
                                  time_us)
         self.reactions.append(self._current)
 
-    def step(self, trail_label: str, path: tuple, kind: str,
-             line: int) -> None:
+    def on_step(self, trail: str, path: tuple, kind: str,
+                line: int) -> None:
         if self._current is not None:
-            self._current.steps.append(Step(trail_label, path, kind, line))
+            self._current.steps.append(Step(trail, path, kind, line))
 
-    def emit_internal(self, name: str) -> None:
+    def on_emit_internal(self, name: str, depth: int, trail: str,
+                         time_us: int) -> None:
         if self._current is not None:
             self._current.emitted_internal.append(name)
 
-    def end(self) -> None:
+    def on_reaction_end(self, index: int, trigger: str, steps: int,
+                        wall_ns: int) -> None:
         if self._current is not None and not self._current.steps:
             self._current.discarded = True
         self._current = None
@@ -88,7 +99,14 @@ class Trace:
         return [r.trigger for r in self.reactions]
 
     def signature(self) -> tuple:
-        """A hashable digest used by determinism property tests."""
+        """A hashable digest used by determinism property tests.
+
+        Includes the internal-event emission order: two runs that execute
+        the same steps but emit internal events in a different order are
+        *different* behaviours and must not collide.
+        """
         return tuple(
-            (r.trigger, tuple((s.trail, s.kind, s.line) for s in r.steps))
+            (r.trigger,
+             tuple((s.trail, s.kind, s.line) for s in r.steps),
+             tuple(r.emitted_internal))
             for r in self.reactions)

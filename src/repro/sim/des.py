@@ -12,15 +12,27 @@ import heapq
 import itertools
 from typing import Callable, Optional
 
+from ..obs.hooks import HookBus
+
 
 class Simulator:
-    """A classic event-calendar simulator."""
+    """A classic event-calendar simulator.
 
-    def __init__(self) -> None:
+    Pass a :class:`~repro.obs.hooks.HookBus` to observe the calendar
+    (``des_schedule`` / ``des_fire`` / ``des_cancel`` events); kernel
+    counters are always kept and exposed via :meth:`stats`.
+    """
+
+    def __init__(self, hooks: Optional[HookBus] = None) -> None:
         self.now = 0
+        self.hooks = hooks if hooks is not None else HookBus()
         self._heap: list[tuple[int, int, Callable[[], None]]] = []
         self._seq = itertools.count()
         self._cancelled: set[int] = set()
+        self.events_scheduled = 0
+        self.events_fired = 0
+        self.events_cancelled = 0
+        self.max_heap_size = 0
 
     def at(self, time_us: int, fn: Callable[[], None]) -> int:
         """Schedule ``fn`` at absolute time; returns a cancellable handle."""
@@ -29,6 +41,11 @@ class Simulator:
                              f"({time_us} < {self.now})")
         seq = next(self._seq)
         heapq.heappush(self._heap, (time_us, seq, fn))
+        self.events_scheduled += 1
+        if len(self._heap) > self.max_heap_size:
+            self.max_heap_size = len(self._heap)
+        if self.hooks.enabled:
+            self.hooks.des_schedule(seq, time_us, self.now)
         return seq
 
     def after(self, delay_us: int, fn: Callable[[], None]) -> int:
@@ -36,6 +53,9 @@ class Simulator:
 
     def cancel(self, handle: int) -> None:
         self._cancelled.add(handle)
+        self.events_cancelled += 1
+        if self.hooks.enabled:
+            self.hooks.des_cancel(handle, self.now)
 
     def pending(self) -> int:
         return len(self._heap)
@@ -56,6 +76,9 @@ class Simulator:
             self._cancelled.discard(seq)
             return True
         self.now = when
+        self.events_fired += 1
+        if self.hooks.enabled:
+            self.hooks.des_fire(seq, when)
         fn()
         return True
 
@@ -74,6 +97,17 @@ class Simulator:
             if not self.step():
                 return
         raise RuntimeError("simulation exceeded its event budget")
+
+    def stats(self) -> dict:
+        """Kernel counters (always on — plain integer bumps)."""
+        return {
+            "now_us": self.now,
+            "events_scheduled": self.events_scheduled,
+            "events_fired": self.events_fired,
+            "events_cancelled": self.events_cancelled,
+            "pending": len(self._heap),
+            "max_heap_size": self.max_heap_size,
+        }
 
 
 class Rng:

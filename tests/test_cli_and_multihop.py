@@ -82,6 +82,82 @@ class TestCli:
         assert "error" in capsys.readouterr().err
 
 
+EMITTER = """
+input int X;
+internal void e;
+int v = 0;
+par/or do
+   loop do
+      v = await X;
+      emit e;
+   end
+with
+   await 1s;
+end
+return v;
+"""
+
+
+class TestCliObservability:
+    def test_run_trace_prints_reactions(self, ceu_file, capsys):
+        assert main(["run", ceu_file(GOOD), "X=7", "--trace"]) == 0
+        err = capsys.readouterr().err
+        assert "--- trace ---" in err
+        assert "#0 boot" in err and "event:X" in err
+
+    def test_run_trace_json_is_loadable(self, ceu_file, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.json"
+        assert main(["run", ceu_file(EMITTER), "X=1", "X=2",
+                     "--trace-json", str(out)]) == 0
+        assert "ui.perfetto.dev" in capsys.readouterr().err
+        doc = json.loads(out.read_text())
+        events = doc["traceEvents"]
+        assert {e["ph"] for e in events} <= {"B", "E", "i", "M"}
+        # every B has its E: the file loads with balanced slices
+        per_tid: dict = {}
+        for ev in events:
+            if ev["ph"] in ("B", "E"):
+                tid = ev["tid"]
+                per_tid[tid] = per_tid.get(tid, 0) + \
+                    (1 if ev["ph"] == "B" else -1)
+                assert per_tid[tid] >= 0
+        assert set(per_tid.values()) == {0}
+
+    def test_run_trace_jsonl(self, ceu_file, tmp_path, capsys):
+        import json
+        out = tmp_path / "trace.jsonl"
+        assert main(["run", ceu_file(EMITTER), "X=3",
+                     "--trace-jsonl", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in out.read_text().splitlines()]
+        assert any(r["ev"] == "emit_internal" and r["name"] == "e"
+                   for r in records)
+
+    def test_run_stats(self, ceu_file, capsys):
+        assert main(["run", ceu_file(EMITTER), "X=1", "X=2", "@1s",
+                     "--stats"]) == 0
+        err = capsys.readouterr().err
+        assert "--- stats ---" in err
+        assert "reactions_total" in err and "emits_internal_total" in err
+
+    def test_profile_prints_report(self, ceu_file, capsys):
+        assert main(["profile", ceu_file(EMITTER), "X=4", "@1s"]) == 0
+        out = capsys.readouterr().out
+        assert "counters" in out and "histograms" in out
+        assert "steps_per_reaction" in out
+
+    def test_profile_json_snapshot(self, ceu_file, tmp_path, capsys):
+        import json
+        out = tmp_path / "stats.json"
+        assert main(["profile", ceu_file(EMITTER), "X=4",
+                     "--json", str(out)]) == 0
+        stats = json.loads(out.read_text())
+        assert stats["counters"]["reactions_total"] == 2
+        assert stats["counters"]["emits_by_event.e"] == 1
+        assert stats["runtime"]["observed"] is True
+
+
 def build_chain(length: int = 4, latency_us: int = 3_000) -> TinyOsWorld:
     """A linear collection tree: node k forwards to k-1; node 0 sinks."""
     world = TinyOsWorld(latency_us=latency_us)
