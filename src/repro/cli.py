@@ -16,6 +16,9 @@ reproduction's analysis artifacts:
 ``dot``     emit the flow graph (``--flow``) or the temporal-analysis DFA
             (default) as graphviz text
 ``layout``  print the static memory layout and gate table
+``fuzz``    conformance fuzzing: generate seeded programs and cross-check
+            the VM, the C backend, and replay determinism against each
+            other (docs/FUZZING.md); ``--shrink`` minimises failures
 =========   =============================================================
 """
 
@@ -178,6 +181,23 @@ def cmd_layout(args) -> int:
     return 0
 
 
+def cmd_fuzz(args) -> int:
+    from .fuzz import CORPUS_PROFILES, DIFF, FuzzRunner, has_gcc
+
+    config = DIFF if args.profile == "diff" else CORPUS_PROFILES[args.profile]
+    if args.n is None and args.minutes is None:
+        args.n = 100
+    use_c = not args.no_c
+    if use_c and not has_gcc():
+        print("gcc not found: VM-vs-C oracle disabled "
+              "(replay and analysis oracles still run)", file=sys.stderr)
+    runner = FuzzRunner(seed=args.seed, config=config, use_c=use_c,
+                        fault=args.inject_fault, do_shrink=args.shrink,
+                        report=args.report)
+    stats = runner.run(n=args.n, minutes=args.minutes)
+    return 0 if stats.ok() else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -232,6 +252,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("layout", help="print memory layout and gates")
     p.add_argument("file")
     p.set_defaults(fn=cmd_layout)
+
+    p = sub.add_parser("fuzz",
+                       help="differential conformance fuzzing (VM/C/replay)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="first seed; case i uses seed+i (default 0)")
+    p.add_argument("--n", type=int, default=None, metavar="N",
+                   help="number of cases (default 100 unless --minutes)")
+    p.add_argument("--minutes", type=float, default=None, metavar="M",
+                   help="time budget; stops after M minutes")
+    p.add_argument("--shrink", action="store_true",
+                   help="delta-debug every failure to a minimal reproducer")
+    p.add_argument("--report", metavar="FILE",
+                   help="write a JSONL campaign report (obs exporter format)")
+    p.add_argument("--profile", default="diff",
+                   choices=["diff", "deep", "emit", "timer"],
+                   help="generator weight profile (default: diff)")
+    p.add_argument("--no-c", action="store_true",
+                   help="skip the C backend even when gcc is available")
+    p.add_argument("--inject-fault", default=None,
+                   choices=["minus-to-plus", "drop-emit", "flat-prio"],
+                   help="mutate the generated C to validate the oracles")
+    p.set_defaults(fn=cmd_fuzz)
     return parser
 
 

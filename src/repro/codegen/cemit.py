@@ -469,6 +469,7 @@ class CEmitter:
                     if isinstance(s, ast.CBlockStmt)]
         name_table = ",\n  ".join(
             f'{{"{name}", {eid}}}' for name, eid in self.event_ids.items())
+        evt_names = ", ".join(f'"{name}"' for name in self.event_ids)
 
         parts = [f"""\
 /* Generated by repro — Céu to C ({self.name}).
@@ -503,6 +504,21 @@ static intptr_t CEU_RET = 0;
 {chr(10).join(var_defs)}
 {chr(10).join(self._scratch)}
 
+/* ---- conformance hooks (-DCEU_HOOKS) ----
+ * One stderr line per reaction / internal emit, mirroring the VM's
+ * Trace.portable_signature() so traces can be diffed across backends
+ * (docs/FUZZING.md). */
+#ifdef CEU_HOOKS
+static const char *EVT_NAME[N_EVTS] = {{ {evt_names or '0'} }};
+#define CEU_SIG(s)       fprintf(stderr, "==SIG %s\\n", (s))
+#define CEU_SIG_EVT(e)   fprintf(stderr, "==SIG event:%s\\n", EVT_NAME[e])
+#define CEU_SIG_EMIT(e)  fprintf(stderr, "==EMIT %s\\n", EVT_NAME[e])
+#else
+#define CEU_SIG(s)
+#define CEU_SIG_EVT(e)
+#define CEU_SIG_EMIT(e)
+#endif
+
 /* output events: platforms override this hook */
 void ceu_output(int evt, intptr_t val)
     __attribute__((weak));
@@ -533,6 +549,7 @@ static void ceu_track(int track);
 /* internal events: the C stack realises the §2.2 stack policy */
 static void ceu_bcast(int evt) {{
     int lbls[N_GATES]; int n = 0, g;
+    CEU_SIG_EMIT(evt);
     for (g = 0; g < N_GATES; g++)
         if (GATE_EVT[g] == evt && GATES[g]) {{
             lbls[n++] = GATES[g]; GATES[g] = 0;
@@ -564,6 +581,7 @@ static void ceu_track(int track) {{
 }}
 
 int ceu_go_init(void) {{
+    CEU_SIG("boot");
     memset(GATES, 0, sizeof(GATES));
     ceu_spawn(0, 1);
     ceu_flush();
@@ -574,6 +592,7 @@ int ceu_go_init(void) {{
 int ceu_go_event(int evt, intptr_t val) {{
     int g;
     if (CEU_DONE) return 1;
+    CEU_SIG_EVT(evt);
     EVT_VAL[evt] = val;
     CEU_BASE = CEU_CLOCK;
     for (g = 0; g < N_GATES; g++)
@@ -596,6 +615,7 @@ int ceu_go_time(ceu_time_t now) {{
                 && (best < 0 || TIMERS[g] < best))
                 best = TIMERS[g];
         if (best < 0 || best > now) break;
+        CEU_SIG("time");
         CEU_BASE = best;
         for (g = 0; g < N_GATES; g++)
             if (GATE_EVT[g] == CEU_GK_TIME && GATES[g]

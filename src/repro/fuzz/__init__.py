@@ -1,0 +1,27 @@
+"""Conformance fuzzing: seeded program generation, differential oracles
+(VM ↔ C ↔ replay), and a delta-debugging shrinker (docs/FUZZING.md).
+
+The subsystem turns the repo's two executable semantics — the reference
+VM and the §4.4 C backend — into each other's oracle, the way
+Esterel-family compilers are validated when a verified chain is out of
+reach.  Entry points:
+
+* :func:`repro.fuzz.gen.generate_case` — one seeded (program, script);
+* :class:`repro.fuzz.runner.FuzzRunner` — drive N cases through the
+  oracle stack, shrink failures, emit a JSONL report;
+* ``python -m repro fuzz`` — the CLI front end.
+"""
+
+from .gen import (CORPUS_PROFILES, DIFF, GenCase, GenConfig, ProgramGen,
+                  generate_case, relay_program, script_text)
+from .oracles import (FAULTS, OracleFailure, RunResult, check_case,
+                      has_gcc, run_c, run_vm)
+from .runner import FuzzRunner
+from .shrink import ShrinkResult, shrink
+
+__all__ = [
+    "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "GenCase",
+    "GenConfig", "OracleFailure", "ProgramGen", "RunResult",
+    "ShrinkResult", "check_case", "generate_case", "has_gcc",
+    "relay_program", "run_c", "run_vm", "script_text", "shrink",
+]

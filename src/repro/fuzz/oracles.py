@@ -1,0 +1,306 @@
+"""Differential oracles: run one (program, script) pair on several
+executable semantics and compare everything observable.
+
+Backends and oracles:
+
+* **VM** — the reference interpreter (:class:`repro.runtime.Program`),
+  traced so :meth:`Trace.portable_signature` is available;
+* **C** — the §4.4 backend compiled with ``gcc -DCEU_HOOKS``: the
+  generated driver reports status/return/output on stdout and the
+  portable signature (one ``==SIG``/``==EMIT`` line per reaction /
+  internal emit) on stderr;
+* **replay** — the VM run twice: §2.8 demands bit-identical traces,
+  memory, and output;
+* **analyses** — parse/bind/§2.5 must accept every generated program,
+  the §2.6 temporal analysis classifies it, and an accepted program must
+  never crash the runtime.
+
+`check_case` stacks them and returns the list of
+:class:`OracleFailure` records (empty = all oracles agree).
+"""
+
+from __future__ import annotations
+
+import re
+import shutil
+import subprocess
+import traceback
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional
+
+from ..dfa import build_dfa
+from ..lang import parse
+from ..lang.errors import CeuError
+from ..runtime import Program
+from ..sema import bind, check_bounded
+from .gen import GenCase, script_text
+
+Script = list  # [("E", name, value) | ("T", abs_us)]
+
+
+def has_gcc() -> bool:
+    """Single source of truth for gcc availability (tests and CLI)."""
+    return shutil.which("gcc") is not None
+
+
+# ---------------------------------------------------------------------------
+# backend runs
+# ---------------------------------------------------------------------------
+
+@dataclass
+class RunResult:
+    """What one backend observed for one (program, script) pair."""
+
+    backend: str                       # "vm" | "c"
+    ok: bool = True                    # the harness itself succeeded
+    error: Optional[str] = None        # exception / compiler message
+    done: Optional[bool] = None
+    result: Optional[int] = None       # return value (when done)
+    output: str = ""                   # everything _printf'ed
+    signature: Optional[tuple] = None  # full VM signature (VM only)
+    psig: Optional[tuple] = None       # portable cross-backend signature
+    memory: Optional[dict] = None      # final memory snapshot (VM only)
+
+    def observable(self) -> tuple:
+        """The cross-backend comparison key (no-return normalises to 0)."""
+        result = (self.result if self.result is not None else 0) \
+            if self.done else None
+        return (self.done, result, self.output, self.psig)
+
+
+def drive_vm(program: Program, script: Script) -> None:
+    program.start()
+    for item in script:
+        if program.done:
+            break
+        if item[0] == "E":
+            program.send(item[1], item[2])
+        else:
+            program.at(item[1])
+
+
+def run_vm(src: str, script: Script, trace: bool = True) -> RunResult:
+    """Execute on the reference VM; any exception is the caller's bug."""
+    res = RunResult(backend="vm")
+    try:
+        program = Program(src, trace=trace)
+        drive_vm(program, script)
+    except Exception:
+        res.ok = False
+        res.error = traceback.format_exc(limit=8)
+        return res
+    res.done = program.done
+    res.result = program.result if program.done else None
+    res.output = program.output()
+    if trace:
+        res.signature = program.trace.signature()
+        res.psig = program.trace.portable_signature()
+    res.memory = program.sched.memory.snapshot()
+    return res
+
+
+def _parse_c_stdout(out: str) -> tuple[str, bool, int]:
+    body, tail = out.rsplit("==DONE=", 1)
+    done = tail.startswith("1")
+    ret = int(tail.split("RET=")[1].split("==")[0])
+    return body, done, ret
+
+
+def _parse_c_psig(err: str) -> tuple:
+    """Reassemble the portable signature from ``==SIG``/``==EMIT`` lines."""
+    reactions: list[tuple[str, list[str]]] = []
+    for line in err.splitlines():
+        if line.startswith("==SIG "):
+            reactions.append((line[len("==SIG "):].strip(), []))
+        elif line.startswith("==EMIT ") and reactions:
+            reactions[-1][1].append(line[len("==EMIT "):].strip())
+    return tuple((trigger, tuple(emits)) for trigger, emits in reactions)
+
+
+def run_c(src: str, script: Script, workdir, name: str = "prog",
+          hooks: bool = True, mutate: Optional[Callable[[str], str]] = None,
+          opt: str = "-O1", timeout: int = 60) -> RunResult:
+    """Compile through the §4.4 backend and run the generated driver.
+
+    ``mutate`` post-processes the generated C — the fault-injection hook
+    used to prove the oracles and the shrinker catch real bugs.
+    """
+    from ..codegen import compile_to_c
+
+    res = RunResult(backend="c")
+    try:
+        compiled = compile_to_c(bind(parse(src)), name=name)
+    except CeuError as err:
+        res.ok = False
+        res.error = f"compile_to_c: {err}"
+        return res
+    code = compiled.code
+    if mutate is not None:
+        code = mutate(code)
+    workdir = Path(workdir)
+    c_path = workdir / f"{name}.c"
+    c_path.write_text(code)
+    exe = workdir / name
+    cmd = ["gcc", opt] + (["-DCEU_HOOKS"] if hooks else []) + \
+          ["-o", str(exe), str(c_path)]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        res.ok = False
+        res.error = f"gcc: {proc.stderr[:2000]}"
+        return res
+    try:
+        run = subprocess.run([str(exe)], input=script_text(script),
+                             capture_output=True, text=True,
+                             timeout=timeout)
+    except subprocess.TimeoutExpired:
+        res.ok = False
+        res.error = "generated binary timed out"
+        return res
+    try:
+        res.output, res.done, ret = _parse_c_stdout(run.stdout)
+    except (ValueError, IndexError):
+        res.ok = False
+        res.error = f"unparseable driver output: {run.stdout[-500:]!r}"
+        return res
+    res.result = ret if res.done else None
+    if hooks:
+        res.psig = _parse_c_psig(run.stderr)
+    return res
+
+
+# ---------------------------------------------------------------------------
+# fault injection (to validate the pipeline end to end)
+# ---------------------------------------------------------------------------
+
+def _fault_minus_to_plus(code: str) -> str:
+    """Miscompile subtraction (and timer deltas) to addition."""
+    return code.replace(" - ", " + ")
+
+def _fault_drop_emit(code: str) -> str:
+    """Lose every internal-event broadcast."""
+    return "\n".join(line for line in code.splitlines()
+                     if not line.strip().startswith("ceu_bcast("))
+
+def _fault_swap_join(code: str) -> str:
+    """Run rejoin continuations at normal priority (§4.1 glitch)."""
+    return re.sub(r"ceu_spawn\([1-9]\d*, ", "ceu_spawn(0, ", code)
+
+FAULTS: dict[str, Callable[[str], str]] = {
+    "minus-to-plus": _fault_minus_to_plus,
+    "drop-emit": _fault_drop_emit,
+    "flat-prio": _fault_swap_join,
+}
+
+
+# ---------------------------------------------------------------------------
+# the oracle stack
+# ---------------------------------------------------------------------------
+
+@dataclass
+class OracleFailure:
+    """One oracle disagreement, with everything needed to reproduce."""
+
+    oracle: str                 # "well-formed" | "vm-crash" | "replay" | "vm-vs-c"
+    seed: int
+    src: str
+    script: Script
+    details: dict = field(default_factory=dict)
+
+    def summary(self) -> str:
+        keys = ", ".join(sorted(self.details))
+        return f"[{self.oracle}] seed={self.seed} ({keys})"
+
+
+def analyses_verdict(src: str, max_states: int = 5_000) -> str:
+    """``accept`` / ``refuse`` (nondeterminism witness) / ``giveup``
+    (state-space cap) for the §2.6 temporal analysis."""
+    bound = bind(parse(src))
+    try:
+        dfa = build_dfa(bound, max_states=max_states)
+    except CeuError:
+        return "giveup"
+    return "refuse" if dfa.conflicts else "accept"
+
+
+def _diff(vm: RunResult, c: RunResult) -> dict:
+    details: dict = {}
+    if vm.done != c.done:
+        details["status"] = {"vm": vm.done, "c": c.done}
+    # a program that terminates without `return` is None on the VM but 0
+    # in C (CEU_RET's initial value) — the same observable
+    if (vm.done and c.done
+            and (vm.result if vm.result is not None else 0) != c.result):
+        details["result"] = {"vm": vm.result, "c": c.result}
+    if vm.output != c.output:
+        details["output"] = {"vm": vm.output, "c": c.output}
+    if (vm.psig is not None and c.psig is not None
+            and vm.psig != c.psig):
+        for i, (a, b) in enumerate(zip(vm.psig, c.psig)):
+            if a != b:
+                details["psig"] = {"first_diff": i, "vm": a, "c": b}
+                break
+        else:
+            details["psig"] = {"length": {"vm": len(vm.psig),
+                                          "c": len(c.psig)}}
+    return details
+
+
+def check_case(case: GenCase, workdir=None, use_c: bool = True,
+               mutate: Optional[Callable[[str], str]] = None,
+               ) -> tuple[str, list[OracleFailure]]:
+    """Run the full oracle stack on one case.
+
+    Returns ``(verdict, failures)`` where ``verdict`` is the temporal
+    analysis verdict ("accept"/"refuse"/"giveup"/"ill-formed").  The
+    VM↔C oracle only applies to accepted programs — the language only
+    promises determinism for those — while replay and no-crash apply to
+    every well-formed program.
+    """
+    failures: list[OracleFailure] = []
+
+    def fail(oracle: str, **details) -> None:
+        failures.append(OracleFailure(oracle=oracle, seed=case.seed,
+                                      src=case.src, script=case.script,
+                                      details=details))
+
+    # 1. generated programs are well-formed by construction
+    try:
+        check_bounded(bind(parse(case.src)))
+    except CeuError as err:
+        fail("well-formed", error=str(err))
+        return "ill-formed", failures
+    try:
+        verdict = analyses_verdict(case.src)
+    except Exception:
+        fail("well-formed", error=traceback.format_exc(limit=8))
+        return "ill-formed", failures
+
+    # 2. the runtime never crashes on a well-formed program
+    vm = run_vm(case.src, case.script)
+    if not vm.ok:
+        fail("vm-crash", error=vm.error, verdict=verdict)
+        return verdict, failures
+
+    # 3. §2.8 replay determinism: same inputs, bit-identical behaviour
+    vm2 = run_vm(case.src, case.script)
+    if not vm2.ok:
+        fail("vm-crash", error=vm2.error, verdict=verdict, replay=True)
+        return verdict, failures
+    if (vm.signature != vm2.signature or vm.output != vm2.output
+            or vm.result != vm2.result or vm.done != vm2.done
+            or vm.memory != vm2.memory):
+        fail("replay", first={"output": vm.output, "result": vm.result},
+             second={"output": vm2.output, "result": vm2.result})
+
+    # 4. VM ↔ C differential (accepted programs, gcc available)
+    if use_c and verdict == "accept" and has_gcc() and workdir is not None:
+        c = run_c(case.src, case.script, workdir,
+                  name=f"fz{case.seed}", mutate=mutate)
+        if not c.ok:
+            fail("vm-vs-c", error=c.error)
+        else:
+            details = _diff(vm, c)
+            if details:
+                fail("vm-vs-c", **details)
+    return verdict, failures

@@ -1,0 +1,165 @@
+"""The fuzz campaign driver behind ``python -m repro fuzz``.
+
+Generates seeded cases, stacks the oracles of
+:mod:`repro.fuzz.oracles` on each, optionally shrinks every failure to
+a minimal reproducer, and reports through the observability JSONL
+exporter (one record per case/failure plus a summary — the same
+format as ``repro run --trace-jsonl``, see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import sys
+import tempfile
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..obs import JsonlExporter
+from .gen import DIFF, GenCase, GenConfig, generate_case, script_text
+from .oracles import FAULTS, OracleFailure, check_case, has_gcc, run_c, \
+    run_vm
+from .shrink import ShrinkResult, shrink
+
+
+@dataclass
+class FuzzStats:
+    cases: int = 0
+    accepted: int = 0
+    refused: int = 0
+    giveup: int = 0
+    c_diffed: int = 0
+    failures: list[OracleFailure] = field(default_factory=list)
+    shrunk: list[ShrinkResult] = field(default_factory=list)
+
+    def ok(self) -> bool:
+        return not self.failures
+
+
+class FuzzRunner:
+    """One fuzz campaign: ``FuzzRunner(seed=0).run(n=200)``."""
+
+    def __init__(self, seed: int = 0, config: GenConfig = DIFF,
+                 use_c: bool = True, fault: Optional[str] = None,
+                 do_shrink: bool = False, report: Optional[str] = None,
+                 log: Callable[[str], None] = lambda msg: print(
+                     msg, file=sys.stderr)):
+        self.seed = seed
+        self.config = config
+        self.use_c = use_c and has_gcc()
+        self.mutate = FAULTS[fault] if fault else None
+        self.do_shrink = do_shrink
+        self.report_path = report
+        self.log = log
+        self.stats = FuzzStats()
+        self.exporter = JsonlExporter()
+
+    # ------------------------------------------------------------- records
+    def _record(self, ev: str, **fields) -> None:
+        rec = {"ev": ev, "seq": len(self.exporter.records)}
+        rec.update(fields)
+        self.exporter.records.append(rec)
+
+    # ------------------------------------------------------------ campaign
+    def run(self, n: Optional[int] = None,
+            minutes: Optional[float] = None) -> FuzzStats:
+        """Fuzz until ``n`` cases are done or ``minutes`` have elapsed
+        (whichever comes first; either may be None for "no cap" — at
+        least one must be set)."""
+        if n is None and minutes is None:
+            raise ValueError("need a case count or a time budget")
+        deadline = (time.monotonic() + minutes * 60
+                    if minutes is not None else None)
+        if not self.use_c:
+            self._record("fuzz_config", note="C oracle disabled "
+                         "(gcc unavailable or --no-c)")
+        with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
+            seed = self.seed
+            while True:
+                if n is not None and self.stats.cases >= n:
+                    break
+                if deadline is not None and time.monotonic() >= deadline:
+                    break
+                self._one_case(generate_case(seed, self.config), tmp)
+                seed += 1
+        self._record("fuzz_summary", cases=self.stats.cases,
+                     accepted=self.stats.accepted,
+                     refused=self.stats.refused,
+                     giveup=self.stats.giveup,
+                     c_diffed=self.stats.c_diffed,
+                     failures=len(self.stats.failures),
+                     gcc=self.use_c)
+        if self.report_path:
+            self.exporter.write(self.report_path)
+            self.log(f"wrote {self.report_path}: "
+                     f"{len(self.exporter.records)} records")
+        self.log(self.summary())
+        return self.stats
+
+    def _one_case(self, case: GenCase, tmp: str) -> None:
+        self.stats.cases += 1
+        verdict, failures = check_case(case, workdir=tmp,
+                                       use_c=self.use_c,
+                                       mutate=self.mutate)
+        if verdict == "accept":
+            self.stats.accepted += 1
+            if self.use_c:
+                self.stats.c_diffed += 1
+        elif verdict == "refuse":
+            self.stats.refused += 1
+        elif verdict == "giveup":
+            self.stats.giveup += 1
+        self._record("fuzz_case", seed=case.seed, verdict=verdict,
+                     src_lines=case.src_lines(),
+                     script_len=len(case.script),
+                     ok=not failures)
+        for failure in failures:
+            self.stats.failures.append(failure)
+            self.log(f"FAIL {failure.summary()}")
+            shrunk = None
+            if self.do_shrink:
+                shrunk = self._shrink_failure(failure)
+            self._record("fuzz_failure", seed=failure.seed,
+                         oracle=failure.oracle, details=failure.details,
+                         src=failure.src,
+                         script=script_text(failure.script),
+                         shrunk_src=shrunk.src if shrunk else None,
+                         shrunk_script=(script_text(shrunk.script)
+                                        if shrunk else None))
+
+    # ------------------------------------------------------------ shrinking
+    def _shrink_failure(self, failure: OracleFailure) -> ShrinkResult:
+        """Re-runs the failing oracle as the shrink predicate."""
+        oracle = failure.oracle
+
+        def predicate(src: str, script: list) -> bool:
+            case = GenCase(seed=failure.seed, src=src, script=list(script))
+            with tempfile.TemporaryDirectory(prefix="repro-shrink-") as t:
+                _verdict, fails = check_case(case, workdir=t,
+                                             use_c=self.use_c,
+                                             mutate=self.mutate)
+            return any(f.oracle == oracle for f in fails)
+
+        result = shrink(failure.src, failure.script, predicate)
+        self.stats.shrunk.append(result)
+        self.log(f"shrunk seed={failure.seed}: "
+                 f"{len(failure.src.splitlines())} -> "
+                 f"{result.src_lines()} lines, "
+                 f"{len(failure.script)} -> {len(result.script)} events "
+                 f"({result.tests} predicate calls)")
+        self.log("--- reproducer ---\n" + result.src)
+        self.log("--- script ---\n" + script_text(result.script))
+        return result
+
+    # -------------------------------------------------------------- report
+    def summary(self) -> str:
+        s = self.stats
+        backend = "VM+C" if self.use_c else "VM only"
+        line = (f"fuzz: {s.cases} cases ({backend}) — "
+                f"{s.accepted} accepted, {s.refused} refused, "
+                f"{s.giveup} gave up, {s.c_diffed} C-diffed, "
+                f"{len(s.failures)} failure(s)")
+        return line
+
+
+__all__ = ["FuzzRunner", "FuzzStats", "run_vm", "run_c"]

@@ -1,0 +1,185 @@
+"""Delta-debugging minimiser for fuzz failures.
+
+Given a failing (program, event script) pair and a predicate "does it
+still fail?", the shrinker greedily removes script items and program
+lines until a local minimum: the classic ddmin chunk sweep for the
+script, plus *structure-aware* passes for the program that use the
+parser's own spans — delete whole statements, lift a ``par`` branch /
+``if`` arm / ``loop`` body in place of its parent — so block keywords
+never end up orphaned.  Candidates that fail to parse/bind/§2.5 simply
+count as "does not fail" and are skipped, which is what makes naive
+line removal safe.
+
+Every fuzz failure should land as a reproducer small enough to read —
+the acceptance bar is ≤ 15 lines for an injected codegen fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from ..lang import ast, parse
+from ..lang.errors import CeuError
+from ..sema import bind, check_bounded
+
+Predicate = Callable[[str, list], bool]
+
+
+@dataclass
+class ShrinkResult:
+    src: str
+    script: list
+    rounds: int
+    tests: int            # predicate evaluations spent
+
+    def src_lines(self) -> int:
+        return len(self.src.splitlines())
+
+
+class _Shrinker:
+    def __init__(self, predicate: Predicate, max_tests: int):
+        self.predicate = predicate
+        self.max_tests = max_tests
+        self.tests = 0
+        self.cache: dict = {}
+
+    def still_fails(self, src: str, script: list) -> bool:
+        key = (src, tuple(map(tuple, script)))
+        if key in self.cache:
+            return self.cache[key]
+        if self.tests >= self.max_tests:
+            return False
+        self.tests += 1
+        try:
+            check_bounded(bind(parse(src)))
+        except CeuError:
+            self.cache[key] = False
+            return False
+        except RecursionError:      # pathological candidate
+            self.cache[key] = False
+            return False
+        try:
+            verdict = bool(self.predicate(src, script))
+        except Exception:
+            verdict = False
+        self.cache[key] = verdict
+        return verdict
+
+    # ---------------------------------------------------------- script pass
+    def ddmin_script(self, src: str, script: list) -> list:
+        """Classic ddmin on the event script."""
+        items = list(script)
+        chunk = max(1, len(items) // 2)
+        while chunk >= 1:
+            i = 0
+            progressed = False
+            while i < len(items):
+                candidate = items[:i] + items[i + chunk:]
+                if self.still_fails(src, candidate):
+                    items = candidate
+                    progressed = True
+                else:
+                    i += chunk
+            chunk = chunk // 2 if not progressed else max(1, chunk // 2)
+        return items
+
+    # --------------------------------------------------------- program pass
+    def _line_span(self, node: ast.Node) -> tuple[int, int]:
+        return node.span.start.line, node.span.end.line
+
+    def _candidates(self, src: str) -> list[tuple[str, str]]:
+        """Structure-aware rewrites of ``src``, biggest cut first.
+
+        Each candidate is (label, new_src).  Uses the AST's spans; a
+        rewrite replaces the *enclosing* statement's line range either
+        with nothing (statement deletion) or with the lines of one of
+        its sub-blocks (branch/body lifting).
+        """
+        try:
+            program = parse(src)
+        except CeuError:
+            return []
+        lines = src.splitlines()
+        out: list[tuple[int, str, str]] = []
+
+        def cut(label: str, lo: int, hi: int,
+                replacement: Optional[list[str]] = None) -> None:
+            if lo < 1 or hi > len(lines) or lo > hi:
+                return
+            new = lines[:lo - 1] + (replacement or []) + lines[hi:]
+            if len(new) < len(lines):
+                out.append((hi - lo + 1 - len(replacement or []),
+                            label, "\n".join(new)))
+
+        for node in program.walk():
+            if not isinstance(node, ast.Stmt):
+                continue
+            lo, hi = self._line_span(node)
+            cut(f"del {type(node).__name__}@{lo}", lo, hi)
+            if isinstance(node, ast.ParStmt):
+                for block in node.blocks:
+                    blo, bhi = self._line_span(block)
+                    cut(f"lift par branch@{blo}", lo, hi,
+                        lines[blo - 1:bhi])
+            elif isinstance(node, ast.If):
+                for block in filter(None, (node.then, node.orelse)):
+                    blo, bhi = self._line_span(block)
+                    cut(f"lift if arm@{blo}", lo, hi,
+                        lines[blo - 1:bhi])
+            elif isinstance(node, (ast.Loop, ast.DoBlock)):
+                blo, bhi = self._line_span(node.body)
+                cut(f"lift body@{blo}", lo, hi, lines[blo - 1:bhi])
+        # biggest cuts first: fewer predicate calls to the minimum
+        out.sort(key=lambda item: -item[0])
+        return [(label, new_src) for _, label, new_src in out]
+
+    def shrink_src(self, src: str, script: list) -> str:
+        while True:
+            for _label, candidate in self._candidates(src):
+                if candidate != src and self.still_fails(candidate, script):
+                    src = candidate
+                    break
+            else:
+                return src
+
+    def ddmin_lines(self, src: str, script: list) -> str:
+        """Final sweep: raw line removal catches what spans missed
+        (e.g. now-unused declarations sharing a line)."""
+        lines = src.splitlines()
+        chunk = max(1, len(lines) // 2)
+        while chunk >= 1:
+            i = 0
+            while i < len(lines):
+                candidate = "\n".join(lines[:i] + lines[i + chunk:])
+                if self.still_fails(candidate, script):
+                    lines = candidate.splitlines()
+                else:
+                    i += chunk
+            chunk //= 2
+        return "\n".join(lines)
+
+
+def shrink(src: str, script: list, predicate: Predicate,
+           max_tests: int = 2_000, max_rounds: int = 10) -> ShrinkResult:
+    """Minimise a failing (program, script) pair.
+
+    ``predicate(src, script)`` must return True while the failure
+    reproduces; it is never called on ill-formed programs.  The original
+    pair must fail — otherwise the inputs are returned unchanged.
+    """
+    worker = _Shrinker(predicate, max_tests)
+    if not worker.still_fails(src, script):
+        return ShrinkResult(src=src, script=script, rounds=0,
+                            tests=worker.tests)
+    rounds = 0
+    while rounds < max_rounds:
+        rounds += 1
+        before = (src, len(script))
+        script = worker.ddmin_script(src, script)
+        src = worker.shrink_src(src, script)
+        src = worker.ddmin_lines(src, script)
+        if (src, len(script)) == before:
+            break
+    return ShrinkResult(src=src, script=script, rounds=rounds,
+                        tests=worker.tests)

@@ -110,3 +110,18 @@ class Trace(HookSubscriber):
              tuple((s.trail, s.kind, s.line) for s in r.steps),
              tuple(r.emitted_internal))
             for r in self.reactions)
+
+    def portable_signature(self) -> tuple:
+        """The backend-portable projection of :meth:`signature`.
+
+        Per reaction: the trigger (``"boot"`` / ``"event:NAME"`` /
+        ``"time"``) and the internal-event emission order — exactly what
+        the §4.4 C backend reports when compiled with ``-DCEU_HOOKS``
+        (see :mod:`repro.fuzz.oracles` and docs/FUZZING.md).  Per-step
+        details are VM-internal and async completions have no C
+        analogue, so both are dropped.
+        """
+        return tuple(
+            (r.trigger, tuple(r.emitted_internal))
+            for r in self.reactions
+            if not r.trigger.startswith("async:"))

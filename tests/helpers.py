@@ -2,12 +2,12 @@
 
 from __future__ import annotations
 
-import shutil
 import subprocess
 
 import pytest
 
 from repro.dfa import build_dfa
+from repro.fuzz.oracles import has_gcc
 from repro.lang import parse
 from repro.runtime import Program
 from repro.sema import bind, check_bounded
@@ -47,7 +47,7 @@ def run_program(src: str, *actions, trace: bool = False) -> Program:
     return program
 
 
-HAVE_GCC = shutil.which("gcc") is not None
+HAVE_GCC = has_gcc()   # single source of truth: repro.fuzz.oracles
 
 requires_gcc = pytest.mark.skipif(not HAVE_GCC, reason="gcc not available")
 

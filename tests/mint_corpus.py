@@ -1,0 +1,66 @@
+"""Regenerate the checked-in corpus (``tests/corpus/``) — run as
+``PYTHONPATH=src python tests/mint_corpus.py`` from the repo root.
+
+Scans the first 40 seeds of each edge profile, keeps only cases the
+full oracle stack passes with an ``accept`` verdict, ranks them by the
+profile's own notion of "edgy" (nesting depth / emit count / timer
+count), and freezes the top picks with their expected outcomes.  Only
+rerun this when the language semantics deliberately change; the diff is
+the review artifact.
+"""
+
+import hashlib
+import json
+import tempfile
+from pathlib import Path
+
+from repro.fuzz import CORPUS_PROFILES, check_case
+from repro.fuzz.gen import ProgramGen
+from repro.fuzz.oracles import run_vm
+
+PICKS = {"deep": 4, "emit": 3, "timer": 3}
+N_SCAN = 40
+
+
+def score(profile: str, src: str) -> int:
+    if profile == "deep":
+        return max(len(l) - len(l.lstrip()) for l in src.splitlines())
+    if profile == "emit":
+        return src.count("emit ")
+    return src.count("ms;") + src.count("await 1")
+
+
+def mint(out: Path) -> None:
+    for profile, want in PICKS.items():
+        ranked = []
+        for seed in range(N_SCAN):
+            case = ProgramGen(seed, CORPUS_PROFILES[profile],
+                              profile).case()
+            with tempfile.TemporaryDirectory() as tmp:
+                verdict, fails = check_case(case, workdir=tmp)
+            if fails or verdict != "accept":
+                continue
+            ranked.append((score(profile, case.src), seed, case))
+        ranked.sort(key=lambda item: -item[0])
+        for rank, seed, case in ranked[:want]:
+            vm = run_vm(case.src, case.script)
+            assert vm.ok and vm.done, (profile, seed)
+            name = f"{profile}_{seed:03d}"
+            (out / f"{name}.ceu").write_text(case.src + "\n")
+            expected = {
+                "profile": profile, "seed": seed,
+                "script": [list(item) for item in case.script],
+                "done": vm.done, "result": vm.result,
+                "output": vm.output,
+                "portable_signature": [[t, list(e)] for t, e in vm.psig],
+                "signature_sha256": hashlib.sha256(
+                    repr(vm.signature).encode()).hexdigest(),
+            }
+            (out / f"{name}.json").write_text(
+                json.dumps(expected, indent=1) + "\n")
+            print(f"{name}: score={rank} lines={case.src_lines()} "
+                  f"script={len(case.script)} reactions={len(vm.psig)}")
+
+
+if __name__ == "__main__":
+    mint(Path(__file__).parent / "corpus")

@@ -1,128 +1,56 @@
 """Randomised VM-vs-C differential testing.
 
-A seeded generator produces finite, deterministic Céu programs mixing
-awaits (events, values, timers), arithmetic, conditionals and parallel
-compositions, all ending in `return <checksum>`.  Each program runs on the
-reference VM and, through the §4.4 backend, under gcc — final status,
-return value and printed output must agree exactly.
+The seeded generator lives in :mod:`repro.fuzz.gen` (shared with the
+``repro fuzz`` campaign driver); here it feeds pytest directly — each
+program runs on the reference VM and, through the §4.4 backend, under
+gcc.  Final status, return value, printed output and the portable
+reaction signature must agree exactly.
 """
-
-import random
 
 import pytest
 
-from helpers import compile_and_run_c, requires_gcc, run_program
-from repro.sema import bind, check_bounded
+from helpers import requires_gcc
+from repro.fuzz import check_case, generate_case
+from repro.fuzz.oracles import run_c, run_vm
 from repro.lang import parse
-
-N_VARS = 4
-
-
-class ProgramGen:
-    def __init__(self, seed: int):
-        self.rng = random.Random(seed)
-        self.lines: list[str] = []
-
-    def var(self) -> str:
-        return f"v{self.rng.randrange(N_VARS)}"
-
-    def emit(self, text: str, depth: int) -> None:
-        self.lines.append("   " * depth + text)
-
-    def step(self, depth: int) -> None:
-        roll = self.rng.random()
-        if roll < 0.30:
-            op = self.rng.choice(["+", "-", "*"])
-            self.emit(f"{self.var()} = {self.var()} {op} "
-                      f"{self.rng.randrange(1, 9)};", depth)
-        elif roll < 0.45:
-            self.emit(f"await {self.rng.choice(['A', 'B'])};", depth)
-        elif roll < 0.55:
-            self.emit(f"{self.var()} = await B;", depth)
-        elif roll < 0.65:
-            self.emit(f"await {self.rng.choice([10, 30, 70])}ms;", depth)
-        elif roll < 0.75:
-            self.emit(f"_printf(\"p%d\\n\", {self.var()});", depth)
-        elif roll < 0.87:
-            self.emit(f"if {self.var()} % 2 then", depth)
-            self.step(depth + 1)
-            self.emit("else", depth)
-            self.step(depth + 1)
-            self.emit("end", depth)
-        else:
-            mode = self.rng.choice(["par/and", "par/or"])
-            self.emit(f"{mode} do", depth)
-            self.emit(f"await {self.rng.choice(['A', 'B'])};", depth + 1)
-            self.emit("with", depth)
-            self.emit(f"await {self.rng.choice([20, 50])}ms;", depth + 1)
-            self.emit("end", depth)
-
-    def generate(self) -> str:
-        self.lines = ["input int A, B;"]
-        inits = ", ".join(f"v{i} = {self.rng.randrange(10)}"
-                          for i in range(N_VARS))
-        self.lines.append(f"int {inits};")
-        for _ in range(self.rng.randrange(4, 9)):
-            self.step(0)
-        checksum = " + ".join(f"v{i}" for i in range(N_VARS))
-        self.lines.append(f"return {checksum};")
-        return "\n".join(self.lines)
-
-
-def make_script(n: int = 30):
-    script = []
-    for k in range(1, n + 1):
-        script.append(("E", "A", k))
-        script.append(("E", "B", 100 + k))
-        script.append(("T", k * 100_000))
-    return script
-
-
-def script_text(script) -> str:
-    out = []
-    for item in script:
-        if item[0] == "E":
-            out.append(f"E {item[1]} {item[2]}")
-        else:
-            out.append(f"T {item[1]}")
-    return "\n".join(out) + "\n"
-
-
-def drive_vm(src, script):
-    actions = []
-    for item in script:
-        if item[0] == "E":
-            actions.append(("ev", item[1], item[2]))
-        else:
-            actions.append(("at", item[1]))
-    return run_program(src, *actions)
+from repro.sema import bind, check_bounded
 
 
 @requires_gcc
 @pytest.mark.parametrize("seed", range(20))
 def test_random_program_c_matches_vm(seed, tmp_path):
-    src = ProgramGen(seed).generate()
-    check_bounded(bind(parse(src)))   # generated programs are well-formed
-    script = make_script()
-    vm = drive_vm(src, script)
-    assert vm.done, f"script too short for seed {seed}:\n{src}"
-    out = compile_and_run_c(src, script_text(script), tmp_path,
-                            f"rand{seed}")
-    body, tail = out.rsplit("==DONE=", 1)
-    assert body == vm.output(), src
-    assert tail.startswith("1"), src
-    ret = int(tail.split("RET=")[1].split("==")[0])
-    assert ret == vm.result, src
+    case = generate_case(seed)
+    check_bounded(bind(parse(case.src)))  # well-formed by construction
+    vm = run_vm(case.src, case.script)
+    assert vm.ok, f"seed {seed}:\n{vm.error}"
+    assert vm.done, f"script too short for seed {seed}:\n{case.src}"
+    c = run_c(case.src, case.script, tmp_path, name=f"rand{seed}")
+    assert c.ok, f"seed {seed}:\n{c.error}"
+    assert c.output == vm.output, case.src
+    assert c.done, case.src
+    assert c.result == vm.result, case.src
+    assert c.psig == vm.psig, case.src
 
 
 @pytest.mark.parametrize("seed", range(20, 40))
 def test_random_program_vm_deterministic(seed):
     """Without gcc in the loop: two VM runs of the same random program on
     the same inputs agree bit-for-bit."""
-    src = ProgramGen(seed).generate()
-    script = make_script()
-    first = drive_vm(src, script)
-    second = drive_vm(src, script)
-    assert first.output() == second.output()
+    case = generate_case(seed)
+    first = run_vm(case.src, case.script)
+    second = run_vm(case.src, case.script)
+    assert first.ok and second.ok
+    assert first.output == second.output
     assert first.result == second.result
     assert first.done == second.done
+    assert first.signature == second.signature
+    assert first.memory == second.memory
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_oracle_stack_agrees(seed, tmp_path):
+    """The full ``check_case`` stack (analyses, no-crash, replay, VM↔C
+    when gcc is present) finds nothing to disagree about."""
+    verdict, failures = check_case(generate_case(seed), workdir=tmp_path)
+    assert verdict in ("accept", "refuse", "giveup")
+    assert not failures, failures[0].summary()

@@ -1,0 +1,61 @@
+"""Checked-in regression corpus (tests/corpus/).
+
+Ten generator-minted edge programs — deepest nesting, longest emit
+chains, timer-heavy — frozen with their event scripts and expected
+outcomes.  Each replay must reproduce the recorded status, return
+value, printed output, the portable reaction signature, and the SHA-256
+of the full VM signature; with gcc present, the §4.4 backend must agree
+with the recording too.  Regenerate with ``tests/mint_corpus.py`` only
+when semantics deliberately change — a diff here is a semantics change.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from helpers import requires_gcc
+from repro.fuzz.oracles import run_c, run_vm
+
+CORPUS = Path(__file__).parent / "corpus"
+NAMES = sorted(p.stem for p in CORPUS.glob("*.ceu"))
+
+
+def load(name):
+    src = (CORPUS / f"{name}.ceu").read_text()
+    expected = json.loads((CORPUS / f"{name}.json").read_text())
+    script = [tuple(item) for item in expected["script"]]
+    return src, script, expected
+
+
+def test_corpus_is_complete():
+    assert len(NAMES) == 10
+    assert all((CORPUS / f"{n}.json").exists() for n in NAMES)
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_corpus_replay_vm(name):
+    src, script, expected = load(name)
+    vm = run_vm(src, script)
+    assert vm.ok, vm.error
+    assert vm.done == expected["done"]
+    assert vm.result == expected["result"]
+    assert vm.output == expected["output"]
+    psig = [[trigger, list(emits)] for trigger, emits in vm.psig]
+    assert psig == expected["portable_signature"]
+    digest = hashlib.sha256(repr(vm.signature).encode()).hexdigest()
+    assert digest == expected["signature_sha256"]
+
+
+@requires_gcc
+@pytest.mark.parametrize("name", NAMES)
+def test_corpus_replay_c(name, tmp_path):
+    src, script, expected = load(name)
+    c = run_c(src, script, tmp_path, name=name)
+    assert c.ok, c.error
+    assert c.done == expected["done"]
+    assert c.result == expected["result"]
+    assert c.output == expected["output"]
+    psig = [[trigger, list(emits)] for trigger, emits in c.psig]
+    assert psig == expected["portable_signature"]

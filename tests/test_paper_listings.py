@@ -1,11 +1,14 @@
 """Paper conformance: every listing in the paper, verbatim, behaving as
 the text says.  Each test cites its section."""
 
+import hashlib
+
 import pytest
 
-from helpers import run_program
+from helpers import requires_gcc, run_program
 from repro.core import analyze
 from repro.dfa import build_dfa
+from repro.fuzz.oracles import run_c, run_vm
 from repro.lang import parse
 from repro.lang.errors import BoundedError, NondeterminismError
 from repro.runtime import Program
@@ -456,3 +459,100 @@ class TestSection31AppSwitch:
             ("ev", "Tick"), ("ev", "Switch", 1), ("ev", "Tick"))
         snap = p.sched.memory.snapshot()
         assert (snap["app1"], snap["app2"]) == (2, 2)
+
+
+class TestTraceSignatureConformance:
+    """`Trace.signature()` is the repo's behavioural fingerprint: golden
+    hashes pin the VM's reaction-by-reaction behaviour on paper
+    listings, and the portable projection must agree between the VM and
+    the §4.4 C backend (compiled with ``-DCEU_HOOKS``) run for run."""
+
+    LISTINGS = {
+        "s2_intro": ("""input int Restart;
+internal void changed;
+int v = 0;
+par do
+   loop do
+      await 1s;
+      v = v + 1;
+      emit changed;
+   end
+with
+   loop do
+      v = await Restart;
+      emit changed;
+   end
+with
+   loop do
+      await changed;
+      _printf("v = %d\\n", v);
+   end
+end
+""", [("T", 1_000_000), ("T", 2_000_000), ("E", "Restart", 10),
+      ("T", 3_000_000)]),
+        "s22_chain": ("""input int Set;
+int v1, v2, v3;
+internal void v1_evt, v2_evt, v3_evt;
+par do
+   loop do
+      await v1_evt;
+      v2 = v1 + 1;
+      emit v2_evt;
+   end
+with
+   loop do
+      await v2_evt;
+      v3 = v2 * 2;
+      emit v3_evt;
+   end
+with
+   loop do
+      v1 = await Set;
+      emit v1_evt;
+   end
+end
+""", [("E", "Set", 10), ("E", "Set", 20)]),
+        "s23_order": ("""int v;
+par/or do
+   await 50ms;
+   await 49ms;
+   v = 1;
+with
+   await 100ms;
+   v = 2;
+end
+return v;
+""", [("T", 1_000_000)]),
+    }
+
+    GOLDEN = {
+        "s2_intro":
+            "c249027fc44efb372c10fe6677a792ee"
+            "f02538811f2830ab87f51119a1303f4f",
+        "s22_chain":
+            "2b9c772e7f871f05c054eea524339a65"
+            "b84aee278a3219346d3b6db9987e4196",
+        "s23_order":
+            "6265c4e3ef53a6cae07cf53706131838"
+            "153a9f192f35f96819cce3caf888fbfd",
+    }
+
+    @pytest.mark.parametrize("name", sorted(LISTINGS))
+    def test_vm_signature_matches_golden(self, name):
+        src, script = self.LISTINGS[name]
+        vm = run_vm(src, script)
+        assert vm.ok, vm.error
+        digest = hashlib.sha256(repr(vm.signature).encode()).hexdigest()
+        assert digest == self.GOLDEN[name], \
+            f"behaviour of {name} changed:\n{vm.signature!r}"
+
+    @requires_gcc
+    @pytest.mark.parametrize("name", sorted(LISTINGS))
+    def test_portable_signature_stable_across_backends(self, name, tmp_path):
+        src, script = self.LISTINGS[name]
+        vm = run_vm(src, script)
+        c = run_c(src, script, tmp_path, name=name)
+        assert vm.ok and c.ok, (vm.error, c.error)
+        assert c.psig == vm.psig
+        assert c.output == vm.output
+        assert c.done == vm.done

@@ -13,6 +13,7 @@ from hypothesis import strategies as st
 
 from repro.codegen import TARGET16, build_gates, build_layout
 from repro.dfa import build_dfa
+from repro.fuzz.gen import RELAY_EVENTS, RELAY_PERIODS, relay_program
 from repro.lang import ast, parse
 from repro.lang.errors import CeuError
 from repro.lang.time_units import UNIT_US, from_components, us_to_text
@@ -24,45 +25,21 @@ from repro.sema import bind, check_bounded
 # random program generator (deterministic programs by construction)
 # ---------------------------------------------------------------------------
 
-EVENTS = ["A", "B", "C"]
+EVENTS = RELAY_EVENTS
 
 
 @st.composite
 def programs(draw):
-    """Generate a deterministic-by-construction Céu program: trail 0 is a
-    timer-driven emitter of the `relay` internal event; the other trails
-    each update their *own* variable on external events or on `relay`.
-    `relay` is only ever armed in reactions the emitter cannot share (an
-    event reaction, or as a causal consequence of the emit itself), so
-    the temporal analysis must accept every instance."""
+    """Generate a deterministic-by-construction Céu program of the
+    *relay* family — see :func:`repro.fuzz.gen.relay_program` (shared
+    with the conformance fuzzer), which documents why the temporal
+    analysis must accept every instance."""
     n_trails = draw(st.integers(1, 4))
-    decls = [f"input int {', '.join(EVENTS)};",
-             "internal void relay;"]
-    branches = []
-    for t in range(n_trails):
-        decls.append(f"int v{t} = 0;")
-        lines = []
-        if t == 0:
-            period = draw(st.sampled_from(["10ms", "7ms", "1s"]))
-            lines.append(f"      await {period};")
-            lines.append(f"      v{t} = v{t} + 1;")
-            lines.append("      emit relay;")
-        else:
-            steps = draw(st.lists(st.sampled_from(EVENTS + ["relay"]),
-                                  min_size=1, max_size=4))
-            # an external await directly before `await relay` would arm
-            # relay in an event reaction — fine: the emitter only emits
-            # from timer reactions, which cannot coincide with events
-            for step in steps:
-                lines.append(f"      await {step};")
-                lines.append(f"      v{t} = v{t} + 1;")
-        branches.append("   loop do\n" + "\n".join(lines) + "\n   end")
-    src = "\n".join(decls)
-    if len(branches) == 1:
-        src += "\n" + branches[0].replace("   loop", "loop")
-    else:
-        src += "\npar do\n" + "\nwith\n".join(branches) + "\nend"
-    return src
+    period = draw(st.sampled_from(RELAY_PERIODS))
+    steps = [draw(st.lists(st.sampled_from(EVENTS + ["relay"]),
+                           min_size=1, max_size=4))
+             for _ in range(n_trails - 1)]
+    return relay_program(n_trails, period, steps)
 
 
 @st.composite
