@@ -1,0 +1,101 @@
+"""Static resource bounds derived from the DFA (§4.2, §6).
+
+The temporal analysis "covers exactly all possible paths", so per-state
+maxima over the explored configurations are sound upper bounds on what
+the runtime can ever hold live:
+
+* **trails** — configuration entries (awaiting trails, suspended parallel
+  owners, the root) bound the scheduler's live-trail count;
+* **armed timers** — ``time``/``tunk`` entries per state (one heap entry
+  per armed trail on the VM, one gate in the generated C);
+* **async jobs** — ``async`` entries per state;
+* **internal-emit depth** — the most internal emits any single abstract
+  reaction performs bounds both the per-reaction emit count and the §2.2
+  emit-stack depth (each nested emit pushes at most once);
+* **memory** — slots are keyed per symbol (re-declaration reuses the
+  slot), so the variable count bounds the VM store and the ABI layouts
+  bound the flat C vector.
+
+The fuzz oracle ``static-bounds`` (:mod:`repro.fuzz.oracles`) checks
+every generated program's observed high-water marks against these; the C
+emitter embeds them as ``_Static_assert``-checked capacity constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..codegen.memlayout import HOST, TARGET16, TargetABI, build_layout
+from ..dfa.builder import Dfa
+from ..sema.binder import BoundProgram
+
+_TIMERISH = ("time", "tunk")
+
+
+@dataclass(frozen=True)
+class ResourceBounds:
+    max_trails: int
+    max_armed_timers: int
+    max_async_jobs: int
+    max_internal_emits: int
+    mem_slots: int
+    mem_bytes_host: int
+    mem_bytes_target16: int
+    dfa_states: int
+    dfa_transitions: int
+
+    def mem_bytes(self, abi: TargetABI) -> int:
+        return (self.mem_bytes_target16 if abi.name == "target16"
+                else self.mem_bytes_host)
+
+    def as_dict(self) -> dict:
+        return {
+            "max_trails": self.max_trails,
+            "max_armed_timers": self.max_armed_timers,
+            "max_async_jobs": self.max_async_jobs,
+            "max_internal_emits": self.max_internal_emits,
+            "mem_slots": self.mem_slots,
+            "mem_bytes_host": self.mem_bytes_host,
+            "mem_bytes_target16": self.mem_bytes_target16,
+            "dfa_states": self.dfa_states,
+            "dfa_transitions": self.dfa_transitions,
+        }
+
+    def summary(self) -> str:
+        return (f"trails<={self.max_trails} "
+                f"timers<={self.max_armed_timers} "
+                f"asyncs<={self.max_async_jobs} "
+                f"emit-depth<={self.max_internal_emits} "
+                f"mem-slots<={self.mem_slots} "
+                f"mem-bytes(host)<={self.mem_bytes_host}")
+
+
+def compute_bounds(bound: BoundProgram, dfa: Dfa) -> ResourceBounds:
+    """Fold per-state maxima out of an explored DFA."""
+    max_trails = 1  # the root trail exists from boot
+    max_timers = 0
+    max_asyncs = 0
+    for state in dfa.states:
+        trails = len(state.config)
+        timers = 0
+        asyncs = 0
+        for _path, entry in state.config:
+            tag = entry[0]
+            if tag in _TIMERISH:
+                timers += 1
+            elif tag == "async":
+                asyncs += 1
+        max_trails = max(max_trails, trails)
+        max_timers = max(max_timers, timers)
+        max_asyncs = max(max_asyncs, asyncs)
+    return ResourceBounds(
+        max_trails=max_trails,
+        max_armed_timers=max_timers,
+        max_async_jobs=max_asyncs,
+        max_internal_emits=dfa.max_internal_emits,
+        mem_slots=len(bound.variables),
+        mem_bytes_host=build_layout(bound, HOST).total,
+        mem_bytes_target16=build_layout(bound, TARGET16).total,
+        dfa_states=dfa.state_count(),
+        dfa_transitions=dfa.transition_count(),
+    )

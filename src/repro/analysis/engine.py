@@ -1,0 +1,70 @@
+"""The analysis driver: front end + pass pipeline → Report.
+
+Unlike the compiling entry points (:func:`repro.core.analyze`), the
+engine never raises on program defects: front-end failures become
+CEU-E001/E002/E003 diagnostics, analysis-budget blow-ups become
+CEU-W401, and every pass that can still run does.
+"""
+
+from __future__ import annotations
+
+from ..dfa import build_dfa
+from ..lang.errors import (AnalysisBudgetExceeded, AsyncError, BindError,
+                           CeuError, LexError, ParseError)
+from ..lang.parser import parse
+from ..sema import bind
+from .diagnostics import Report
+from .passes import (bounded_pass, bounds_pass, conflict_pass,
+                     liveness_pass, stuck_pass)
+
+
+def _front_end_code(err: CeuError) -> str:
+    if isinstance(err, (LexError, ParseError)):
+        return "CEU-E001"
+    if isinstance(err, AsyncError):
+        return "CEU-E003"
+    if isinstance(err, BindError):
+        return "CEU-E002"
+    return "CEU-E002"
+
+
+def run_analysis(source: str, filename: str = "<ceu>",
+                 max_states: int = 20_000, witnesses: bool = True,
+                 verify_witnesses: bool = True) -> Report:
+    """Run the full pass pipeline over one source buffer."""
+    report = Report(filename=filename)
+
+    try:
+        program = parse(source, filename)
+        report.stages.append("parse")
+        bound = bind(program)
+        report.stages.append("bind")
+    except CeuError as err:
+        report.add(_front_end_code(err), f"{err.kind}: {err.message}",
+                   err.span)
+        return report
+
+    tight_loops = bounded_pass(bound, report)
+    liveness_pass(bound, report)
+
+    if tight_loops:
+        # the abstract machine would not terminate on a tight loop; the
+        # DFA passes only run on bounded programs
+        return report
+
+    try:
+        dfa = build_dfa(bound, max_states=max_states)
+    except AnalysisBudgetExceeded as err:
+        report.add("CEU-W401",
+                   f"{err.message} — conflict/deadlock/bounds results "
+                   f"are unavailable for this program", err.span)
+        return report
+    report.stages.append("dfa")
+    report.dfa_states = dfa.state_count()
+    report.dfa_transitions = dfa.transition_count()
+
+    conflict_pass(source, bound, dfa, report, witnesses=witnesses,
+                  verify=verify_witnesses)
+    stuck_pass(bound, dfa, report)
+    bounds_pass(bound, dfa, report)
+    return report

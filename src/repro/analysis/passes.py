@@ -1,0 +1,199 @@
+"""The lint pass pipeline (docs/ANALYSIS.md).
+
+Each pass takes the bound program (and, where available, the DFA) and
+appends diagnostics to a :class:`~repro.analysis.diagnostics.Report`:
+
+* :func:`bounded_pass` — §2.5 walk in accumulate mode: tight loops
+  (CEU-E101), unreachable statements (CEU-W301), parallels that can
+  never rejoin (CEU-W304);
+* :func:`liveness_pass` — internal events awaited-but-never-emitted
+  (CEU-W302) and emitted-but-never-awaited (CEU-W303);
+* :func:`conflict_pass` — *all* §2.6 conflicts (CEU-E201/E202/E203),
+  deduplicated per source-location pair and annotated with a replayable
+  witness to the shortest conflicting path;
+* :func:`stuck_pass` — DFA states from which nothing can ever fire
+  (CEU-W305), e.g. trails left awaiting forever after a ``par/or`` kill;
+* :func:`bounds_pass` — the static resource bounds (CEU-I501).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..dfa.actions import Conflict
+from ..dfa.builder import Dfa
+from ..lang import ast
+from ..lang.errors import UNKNOWN_SPAN, SourceSpan
+from ..sema.binder import BoundProgram
+from ..sema.bounded import BoundedSink, analyze_bounded
+from .bounds import compute_bounds
+from .diagnostics import Report
+from .witness import Witness, realize, shortest_paths
+
+
+# --------------------------------------------------------------- bounded
+class _CollectingSink(BoundedSink):
+    def __init__(self, report: Report) -> None:
+        self.report = report
+        self.tight_loops = 0
+
+    def tight_loop(self, loop: ast.Loop) -> None:
+        self.tight_loops += 1
+        self.report.add(
+            "CEU-E101",
+            "loop body has a path with neither `await` nor `break` — "
+            "the reaction chain would not terminate (§2.5)",
+            loop.span)
+
+    def unreachable(self, stmt: ast.Stmt, count: int) -> None:
+        more = f" (and {count - 1} following)" if count > 1 else ""
+        self.report.add(
+            "CEU-W301",
+            f"unreachable statement{more}: control never flows past the "
+            f"previous statement",
+            stmt.span)
+
+    def par_never_rejoins(self, par: ast.ParStmt) -> None:
+        self.report.add(
+            "CEU-W304",
+            f"`par/{par.mode}` can never rejoin: no branch combination "
+            f"completes or escapes it",
+            par.span)
+
+
+def bounded_pass(bound: BoundProgram, report: Report) -> int:
+    """Returns the number of tight loops found (callers skip the DFA
+    when non-zero — the abstract machine would not terminate either)."""
+    sink = _CollectingSink(report)
+    analyze_bounded(bound, sink)
+    report.stages.append("bounded")
+    return sink.tight_loops
+
+
+# -------------------------------------------------------------- liveness
+def liveness_pass(bound: BoundProgram, report: Report) -> None:
+    emits: dict[int, list[ast.Node]] = {}
+    awaits: dict[int, list[ast.Node]] = {}
+    for node in bound.program.walk():
+        if isinstance(node, ast.EmitInt):
+            sym = bound.event_of[node.nid]
+            if sym.is_internal:
+                emits.setdefault(sym.uid, []).append(node)
+        elif isinstance(node, ast.AwaitInt):
+            sym = bound.event_of[node.nid]
+            if sym.is_internal:
+                awaits.setdefault(sym.uid, []).append(node)
+    for sym in bound.internal_events():
+        sym_emits = emits.get(sym.uid, [])
+        sym_awaits = awaits.get(sym.uid, [])
+        if sym_awaits and not sym_emits:
+            first = min(sym_awaits, key=lambda n: n.span.start.offset)
+            report.add(
+                "CEU-W302",
+                f"internal event `{sym.name}` is awaited but never "
+                f"emitted: these awaits can never wake",
+                first.span,
+                notes=[("also awaited here", n.span)
+                       for n in sym_awaits[1:]])
+        elif sym_emits and not sym_awaits:
+            first = min(sym_emits, key=lambda n: n.span.start.offset)
+            report.add(
+                "CEU-W303",
+                f"internal event `{sym.name}` is emitted but never "
+                f"awaited: every occurrence is discarded (§2.2)",
+                first.span,
+                notes=[("also emitted here", n.span)
+                       for n in sym_emits[1:]])
+    report.stages.append("liveness")
+
+
+# -------------------------------------------------------------- conflicts
+_CONFLICT_CODE = {"var": "CEU-E201", "deref": "CEU-E201",
+                  "cglobal": "CEU-E201", "evt": "CEU-E202",
+                  "cfun": "CEU-E203"}
+
+
+def _dedupe_key(c: Conflict) -> tuple:
+    return (c.first.key, c.first.kind, c.first.span,
+            c.second.kind, c.second.span)
+
+
+def conflict_pass(source: str, bound: BoundProgram, dfa: Dfa,
+                  report: Report, witnesses: bool = True,
+                  verify: bool = True) -> None:
+    if not dfa.conflicts:
+        report.stages.append("conflicts")
+        return
+    paths = shortest_paths(dfa) if witnesses else {}
+
+    def path_of(c: Conflict) -> Optional[list[str]]:
+        if c.trigger == "boot":
+            return ["boot"]
+        prefix = paths.get(c.state_index)
+        return None if prefix is None else prefix + [c.trigger]
+
+    # keep one representative per (location pair, key): the one whose
+    # witness path is shortest
+    best: dict[tuple, tuple[int, Conflict]] = {}
+    for c in dfa.conflicts:
+        path = path_of(c)
+        length = len(path) if path is not None else 1 << 30
+        key = _dedupe_key(c)
+        if key not in best or length < best[key][0]:
+            best[key] = (length, c)
+    for _, conflict in sorted(
+            best.values(),
+            key=lambda item: (item[1].first.span.start.offset,
+                              item[1].second.span.start.offset,
+                              item[0])):
+        code = _CONFLICT_CODE.get(conflict.first.key[0], "CEU-E201")
+        witness: Optional[Witness] = None
+        if witnesses:
+            path = path_of(conflict)
+            if path is None:
+                witness = Witness(replayable=False,
+                                  note="conflict state unreachable in "
+                                       "the explored DFA")
+            else:
+                witness = realize(source, conflict, path, verify=verify)
+        report.add(
+            code, conflict.message(), conflict.first.span,
+            notes=[(conflict.second.describe(), conflict.second.span)],
+            witness=witness)
+    report.stages.append("conflicts")
+
+
+# ------------------------------------------------------------------ stuck
+def stuck_pass(bound: BoundProgram, dfa: Dfa, report: Report) -> None:
+    node_of = {n.nid: n for n in bound.program.walk()}
+    has_succ = {src for src, _, _ in dfa.edges}
+    seen: set[tuple] = set()
+    for state in dfa.states:
+        if state.terminal or state.index in has_succ:
+            continue
+        # nothing can ever fire from here, yet trails are still waiting
+        fore_nids = tuple(sorted(
+            entry[1] for _, entry in state.config if entry[0] == "fore"))
+        if fore_nids in seen:
+            continue
+        seen.add(fore_nids)
+        span = node_of[fore_nids[0]].span if fore_nids else None
+        report.add(
+            "CEU-W305",
+            f"trails are permanently stuck in DFA state "
+            f"#{state.index} ({state.describe(bound)}): no input, timer "
+            f"or async can ever fire again",
+            span if span is not None
+            else SourceSpan.point(0, 0, filename=report.filename))
+    report.stages.append("stuck")
+
+
+# ----------------------------------------------------------------- bounds
+def bounds_pass(bound: BoundProgram, dfa: Dfa, report: Report) -> None:
+    bounds = compute_bounds(bound, dfa)
+    report.bounds = bounds
+    report.add("CEU-I501",
+               f"static resource bounds: {bounds.summary()}",
+               SourceSpan.point(0, 0, filename=report.filename),
+               data=bounds.as_dict())
+    report.stages.append("bounds")

@@ -1,0 +1,103 @@
+"""SARIF 2.1.0 export (https://docs.oasis-open.org/sarif/sarif/v2.1.0/).
+
+One ``run`` per invocation, one ``result`` per diagnostic across all
+analyzed files.  The rule registry is emitted in full (sorted by code)
+so rule indices are stable regardless of which diagnostics fired —
+output is byte-identical across runs on the same input.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable
+
+from ..lang.errors import SourceSpan
+from .diagnostics import RULES, Diagnostic, Report
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://docs.oasis-open.org/sarif/sarif/v2.1.0/cos02/"
+                "schemas/sarif-schema-2.1.0.json")
+
+#: SARIF `level` per diagnostic severity
+_LEVEL = {"error": "error", "warning": "warning", "note": "note"}
+
+
+def _rules() -> list[dict]:
+    out = []
+    for code in sorted(RULES):
+        severity, description = RULES[code]
+        out.append({
+            "id": code,
+            "shortDescription": {"text": description},
+            "defaultConfiguration": {"level": _LEVEL[severity]},
+        })
+    return out
+
+
+_RULE_INDEX = {code: i for i, code in enumerate(sorted(RULES))}
+
+
+def _location(span: SourceSpan, uri: str) -> dict:
+    physical: dict = {"artifactLocation": {"uri": uri}}
+    if span.start.line > 0:
+        region = {"startLine": span.start.line,
+                  "startColumn": span.start.col}
+        if span.end.line >= span.start.line and span.end.line > 0:
+            region["endLine"] = span.end.line
+            region["endColumn"] = span.end.col
+        physical["region"] = region
+    return {"physicalLocation": physical}
+
+
+def _result(diag: Diagnostic, uri: str) -> dict:
+    out: dict = {
+        "ruleId": diag.code,
+        "ruleIndex": _RULE_INDEX[diag.code],
+        "level": _LEVEL[diag.severity],
+        "message": {"text": diag.message},
+        "locations": [_location(diag.span, uri)],
+    }
+    if diag.notes:
+        related = []
+        for label, span in diag.notes:
+            loc = _location(span, uri)
+            loc["message"] = {"text": label}
+            related.append(loc)
+        out["relatedLocations"] = related
+    properties: dict = {}
+    if diag.witness is not None:
+        properties["witness"] = diag.witness.as_dict()
+    if diag.data is not None:
+        properties["data"] = diag.data
+    if properties:
+        out["properties"] = properties
+    return out
+
+
+def to_sarif(reports: Iterable[Report]) -> dict:
+    results = []
+    for report in reports:
+        uri = report.filename
+        for diag in report.sorted():
+            results.append(_result(diag, uri))
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro-lint",
+                    "informationUri":
+                        "https://github.com/repro/repro/docs/ANALYSIS.md",
+                    "version": "1.0.0",
+                    "rules": _rules(),
+                },
+            },
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
+
+
+def sarif_json(reports: Iterable[Report]) -> str:
+    return json.dumps(to_sarif(reports), indent=2, sort_keys=False) + "\n"

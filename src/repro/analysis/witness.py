@@ -1,0 +1,191 @@
+"""Replayable witnesses for nondeterminism conflicts.
+
+A conflict lives on a DFA transition: ``state_index`` is the source
+state and ``trigger`` the label that fires the conflicting reaction.
+The witness is the shortest external-stimulus sequence from boot to that
+state plus the trigger itself — the paper's "covers exactly all possible
+paths" made concrete.
+
+The abstract labels are then *realized* against the reference VM: each
+``event NAME`` becomes an input delivery, each ``timer``/``timeout``
+label advances the clock to the next pending deadline.  A step-hook
+monitor checks that the final stimulus actually executes both
+conflicting accesses (by source line) in one reaction chain — when it
+does, the witness is marked ``verified`` and its script replays via
+``repro run FILE --inputs``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..dfa.actions import Conflict
+from ..dfa.builder import Dfa
+from ..obs.hooks import HookSubscriber
+
+#: input values tried (in order) when realizing `event NAME` labels —
+#: value-dependent branching may need a different datum to reach the
+#: conflicting accesses
+_VALUE_ATTEMPTS = (1, 0)
+
+
+@dataclass
+class Witness:
+    """One concrete path to a reported conflict."""
+
+    #: DFA edge labels from boot up to *and including* the trigger
+    labels: list[str] = field(default_factory=list)
+    #: concrete stimulus [("E", name, value) | ("T", abs_us)]
+    script: list[tuple] = field(default_factory=list)
+    #: False when a label has no concrete counterpart (e.g. asyncs)
+    replayable: bool = True
+    #: True when VM replay executed both conflicting accesses in the
+    #: final reaction chain; None when verification was skipped
+    verified: Optional[bool] = None
+    note: str = ""
+
+    def run_args(self) -> list[str]:
+        """Positional inputs for ``repro run FILE <inputs>``."""
+        args: list[str] = []
+        for item in self.script:
+            if item[0] == "E":
+                args.append(f"{item[1]}={item[2]}")
+            else:
+                args.append(f"@{item[1]}us")
+        return args
+
+    def render(self) -> str:
+        path = " -> ".join(self.labels) or "(boot)"
+        if not self.replayable:
+            return f"{path} [not replayable: {self.note}]"
+        replay = " ".join(self.run_args()) or "(no inputs: boot conflict)"
+        status = {True: "verified", False: "UNVERIFIED",
+                  None: "unchecked"}[self.verified]
+        return f"{path} | repro run: {replay} [{status}]"
+
+    def as_dict(self) -> dict:
+        return {
+            "labels": list(self.labels),
+            "script": [list(item) for item in self.script],
+            "run_args": self.run_args(),
+            "replayable": self.replayable,
+            "verified": self.verified,
+            "note": self.note,
+        }
+
+
+def shortest_paths(dfa: Dfa) -> dict[int, list[str]]:
+    """BFS label paths from the virtual pre-boot state to every state."""
+    adjacency: dict[int, list[tuple[str, int]]] = {}
+    for src, label, dst in dfa.edges:
+        adjacency.setdefault(src, []).append((label, dst))
+    paths: dict[int, list[str]] = {}
+    queue: deque[int] = deque()
+    for label, dst in adjacency.get(-1, []):
+        if dst not in paths:
+            paths[dst] = [label]
+            queue.append(dst)
+    while queue:
+        src = queue.popleft()
+        for label, dst in adjacency.get(src, []):
+            if dst not in paths:
+                paths[dst] = paths[src] + [label]
+                queue.append(dst)
+    return paths
+
+
+class _LineMonitor(HookSubscriber):
+    """Records the set of executed source lines per drive step."""
+
+    def __init__(self) -> None:
+        self.steps: list[set[int]] = []
+
+    def begin(self) -> None:
+        self.steps.append(set())
+
+    def on_step(self, trail, path, kind, line) -> None:
+        if self.steps:
+            self.steps[-1].add(line)
+
+
+def _drive(program, monitor: _LineMonitor, labels: list[str],
+           value: int) -> Optional[list[tuple]]:
+    """Drive the VM along ``labels``; returns the concrete script, or
+    ``None`` when a label cannot be realized."""
+    script: list[tuple] = []
+    for label in labels:
+        monitor.begin()
+        if label == "boot":
+            program.start()
+        elif label.startswith("event "):
+            name = label[len("event "):]
+            if program.done:
+                return None
+            program.send(name, value)
+            script.append(("E", name, value))
+        elif label.startswith(("timer ", "timeout@")):
+            deadline = program.sched.next_deadline()
+            if deadline is None or program.done:
+                return None
+            program.at(deadline)
+            script.append(("T", deadline))
+        elif label.startswith("async@"):
+            # Program.send/at already drain asyncs (§4.5 tail-calls);
+            # the completion reaction has happened by now
+            continue
+        else:
+            return None
+    return script
+
+
+def realize(source: str, conflict: Conflict,
+            labels: list[str], verify: bool = True) -> Witness:
+    """Concretize an abstract label path and (optionally) verify it on
+    the VM: the final stimulus must execute both conflicting accesses.
+    """
+    witness = Witness(labels=list(labels))
+    if not verify:
+        witness.script = _labels_to_nominal_script(labels)
+        return witness
+    from ..runtime.program import Program
+
+    want = {conflict.first.span.start.line,
+            conflict.second.span.start.line}
+    last_error = ""
+    for value in _VALUE_ATTEMPTS:
+        try:
+            program = Program(source, check=False)
+            monitor = _LineMonitor()
+            program.observe(monitor)
+            script = _drive(program, monitor, labels, value)
+        except Exception as err:  # realization must never kill the lint
+            last_error = f"replay error: {err}"
+            continue
+        if script is None:
+            last_error = "a path label has no concrete stimulus"
+            continue
+        hit = monitor.steps[-1] if monitor.steps else set()
+        if want <= hit:
+            witness.script = script[:]
+            witness.verified = True
+            return witness
+        witness.script = script[:]
+        last_error = (f"final trigger executed lines "
+                      f"{sorted(hit)}, wanted {sorted(want)}")
+    witness.verified = False
+    witness.note = last_error
+    if not witness.script:
+        witness.replayable = False
+    return witness
+
+
+def _labels_to_nominal_script(labels: list[str]) -> list[tuple]:
+    """Best-effort script without running the VM (verify=False mode):
+    events with value 1; timers cannot be resolved statically."""
+    script: list[tuple] = []
+    for label in labels:
+        if label.startswith("event "):
+            script.append(("E", label[len("event "):], 1))
+    return script

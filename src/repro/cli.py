@@ -4,21 +4,30 @@ Commands mirror what the original `ceu` compiler offered plus the
 reproduction's analysis artifacts:
 
 =========  ==============================================================
-``check``   run all static analyses; print the verdict and statistics
-``run``     execute on the reference VM, feeding events/time from ``--ev``
-            and ``--at`` arguments in order; ``--trace`` prints the
-            reaction trace, ``--trace-json``/``--trace-jsonl`` export a
-            Perfetto-loadable Chrome trace / machine-readable JSONL, and
-            ``--stats`` prints the metrics snapshot
+``check``   run all static analyses, accumulating *every* diagnostic
+            (file:line:col on stderr); exit non-zero iff any
+            error-severity finding
+``lint``    the full analysis engine over one or more files —
+            conflicts with replayable witnesses, liveness, deadlock,
+            static resource bounds — as text, JSON, or SARIF 2.1.0
+            (docs/ANALYSIS.md)
+``run``     execute on the reference VM, feeding events/time from
+            positional inputs or a ``--inputs`` script file; ``--trace``
+            prints the reaction trace, ``--trace-json``/``--trace-jsonl``
+            export a Perfetto-loadable Chrome trace / machine-readable
+            JSONL, and ``--stats`` prints the metrics snapshot
 ``profile`` run with full instrumentation and print the metrics report
             (``--json`` writes the raw snapshot)
-``c``       emit the §4.4 C translation to stdout (or ``-o``)
+``c``       emit the §4.4 C translation to stdout (or ``-o``);
+            ``--static-bounds`` embeds the DFA-derived capacity bounds
+            as ``_Static_assert``-checked constants
 ``dot``     emit the flow graph (``--flow``) or the temporal-analysis DFA
             (default) as graphviz text
 ``layout``  print the static memory layout and gate table
 ``fuzz``    conformance fuzzing: generate seeded programs and cross-check
-            the VM, the C backend, and replay determinism against each
-            other (docs/FUZZING.md); ``--shrink`` minimises failures
+            the VM, the C backend, replay determinism, schedule
+            independence, and the static bounds against each other
+            (docs/FUZZING.md); ``--shrink`` minimises failures
 =========   =============================================================
 """
 
@@ -49,10 +58,25 @@ def _load(path: str) -> str:
 
 
 def cmd_check(args) -> int:
+    """All analyses, all findings — not just the first (docs/ANALYSIS.md)."""
+    from .analysis import run_analysis
+
     source = _load(args.file)
+    report = run_analysis(source, filename=args.file,
+                          max_states=args.max_states)
+    for diag in report.sorted():
+        print(diag.render(), file=sys.stderr)
+    conflicts = [d for d in report.errors if d.code.startswith("CEU-E2")]
+    if conflicts:
+        print(f"{args.file}: nondeterminism: {len(conflicts)} "
+              f"conflict(s) — witnesses above replay via `repro run`",
+              file=sys.stderr)
+    if report.exit_code:
+        return 1
+    if "dfa" not in report.stages:
+        return 1  # analysis budget exceeded (CEU-W401 above)
     unit = analyze(source, filename=args.file,
                    max_states=args.max_states)
-    dfa = unit.dfa
     layout = unit.memory_layout(TARGET16)
     gates = unit.gate_table()
     print(f"{args.file}: deterministic")
@@ -60,8 +84,40 @@ def cmd_check(args) -> int:
     print(f"  variables: {len(unit.bound.variables)} "
           f"({layout.total} bytes static memory)")
     print(f"  gates    : {gates.count}")
-    print(f"  dfa      : {dfa.state_count()} states, "
-          f"{dfa.transition_count()} transitions")
+    print(f"  dfa      : {report.dfa_states} states, "
+          f"{report.dfa_transitions} transitions")
+    if report.bounds is not None:
+        print(f"  bounds   : {report.bounds.summary()}")
+    return 0
+
+
+def cmd_lint(args) -> int:
+    from .analysis import run_analysis, sarif_json
+
+    reports = []
+    for path in args.files:
+        source = _load(path)
+        reports.append(run_analysis(
+            source, filename=path, max_states=args.max_states,
+            witnesses=not args.no_witness,
+            verify_witnesses=not args.no_verify))
+    if args.format == "sarif":
+        text = sarif_json(reports)
+    elif args.format == "json":
+        payload = [r.to_dict() for r in reports]
+        text = json.dumps(payload[0] if len(payload) == 1 else payload,
+                          indent=2) + "\n"
+    else:
+        text = "\n".join(r.render_text() for r in reports) + "\n"
+    if args.output:
+        Path(args.output).write_text(text)
+        total = sum(len(r.diagnostics) for r in reports)
+        print(f"wrote {args.output}: {len(reports)} file(s), "
+              f"{total} finding(s)", file=sys.stderr)
+    else:
+        sys.stdout.write(text)
+    if args.strict and any(r.errors for r in reports):
+        return 1
     return 0
 
 
@@ -89,6 +145,17 @@ def cmd_run(args) -> int:
     if args.trace_jsonl:
         jsonl = program.observe(JsonlExporter())
     program.start()
+    if args.inputs_file:
+        from .fuzz.gen import parse_script_text
+
+        script = parse_script_text(Path(args.inputs_file).read_text())
+        for item in script:
+            if program.done:
+                break
+            if item[0] == "E":
+                program.send(item[1], item[2])
+            else:
+                program.at(item[1])
     _feed_inputs(program, args.inputs)
     sys.stdout.write(program.output())
     if args.trace:
@@ -138,8 +205,15 @@ def cmd_c(args) -> int:
     bound = bind(parse(source, args.file))
     check_bounded(bound)
     abi = TARGET16 if args.target16 else HOST
+    bounds = None
+    if args.static_bounds:
+        from .analysis import compute_bounds
+
+        dfa = build_dfa(bound, max_states=args.max_states)
+        bounds = compute_bounds(bound, dfa)
     compiled = compile_to_c(bound, abi=abi, with_main=not args.no_main,
-                            name=Path(args.file).stem or "ceu")
+                            name=Path(args.file).stem or "ceu",
+                            bounds=bounds)
     if args.output:
         Path(args.output).write_text(compiled.code)
         print(f"wrote {args.output}: {compiled.n_tracks} tracks, "
@@ -182,9 +256,9 @@ def cmd_layout(args) -> int:
 
 
 def cmd_fuzz(args) -> int:
-    from .fuzz import CORPUS_PROFILES, DIFF, FuzzRunner, has_gcc
+    from .fuzz import PROFILES, FuzzRunner, has_gcc
 
-    config = DIFF if args.profile == "diff" else CORPUS_PROFILES[args.profile]
+    config = PROFILES[args.profile]
     if args.n is None and args.minutes is None:
         args.n = 100
     use_c = not args.no_c
@@ -193,7 +267,7 @@ def cmd_fuzz(args) -> int:
               "(replay and analysis oracles still run)", file=sys.stderr)
     runner = FuzzRunner(seed=args.seed, config=config, use_c=use_c,
                         fault=args.inject_fault, do_shrink=args.shrink,
-                        report=args.report)
+                        report=args.report, profile=args.profile)
     stats = runner.run(n=args.n, minutes=args.minutes)
     return 0 if stats.ok() else 1
 
@@ -209,11 +283,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--max-states", type=int, default=20_000)
     p.set_defaults(fn=cmd_check)
 
+    p = sub.add_parser(
+        "lint", help="full static analysis; text, JSON, or SARIF")
+    p.add_argument("files", nargs="+", metavar="file")
+    p.add_argument("--format", default="text",
+                   choices=["text", "json", "sarif"],
+                   help="output format (json: one report object per "
+                        "file, a single object for a single file)")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the report here instead of stdout")
+    p.add_argument("--max-states", type=int, default=20_000)
+    p.add_argument("--no-witness", action="store_true",
+                   help="skip witness-path construction for conflicts")
+    p.add_argument("--no-verify", action="store_true",
+                   help="build witnesses but skip their VM replay")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when any error-severity "
+                        "diagnostic fired (CI gating)")
+    p.set_defaults(fn=cmd_lint)
+
     p = sub.add_parser("run", help="execute on the reference VM")
     p.add_argument("file")
     p.add_argument("inputs", nargs="*",
                    help="event inputs: NAME, NAME=VALUE, or @TIME "
                         "(e.g. Key=2 @1s Restart)")
+    p.add_argument("--inputs", dest="inputs_file", metavar="FILE",
+                   help="replay a script file first (one 'E NAME "
+                        "[VALUE]' or 'T US' per line — the witness / "
+                        "fuzz-driver format)")
     p.add_argument("--trace", action="store_true",
                    help="print the reaction trace to stderr")
     p.add_argument("--trace-json", metavar="FILE",
@@ -241,6 +338,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--no-main", action="store_true")
     p.add_argument("--target16", action="store_true",
                    help="lay memory out for the 16-bit embedded target")
+    p.add_argument("--static-bounds", action="store_true",
+                   help="embed the DFA-derived resource bounds as "
+                        "_Static_assert-checked capacity constants")
+    p.add_argument("--max-states", type=int, default=20_000,
+                   help="DFA budget for --static-bounds")
     p.set_defaults(fn=cmd_c)
 
     p = sub.add_parser("dot", help="emit graphviz (DFA, or --flow)")
@@ -266,8 +368,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--report", metavar="FILE",
                    help="write a JSONL campaign report (obs exporter format)")
     p.add_argument("--profile", default="diff",
-                   choices=["diff", "deep", "emit", "timer"],
-                   help="generator weight profile (default: diff)")
+                   choices=["diff", "deep", "emit", "prio", "timer"],
+                   help="generator weight profile (default: diff; "
+                        "prio = §4.1 join-priority gadgets)")
     p.add_argument("--no-c", action="store_true",
                    help="skip the C backend even when gcc is available")
     p.add_argument("--inject-fault", default=None,

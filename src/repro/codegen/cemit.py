@@ -67,11 +67,16 @@ class CompiledC:
 
 class CEmitter:
     def __init__(self, bound: BoundProgram, abi: TargetABI = HOST,
-                 with_main: bool = True, name: str = "ceu"):
+                 with_main: bool = True, name: str = "ceu",
+                 bounds=None):
         self.bound = bound
         self.abi = abi
         self.with_main = with_main
         self.name = name
+        #: optional analysis.bounds.ResourceBounds — embedded as capacity
+        #: constants + _Static_asserts when provided
+        self.bounds = bounds
+        self._node_of = {n.nid: n for n in bound.program.walk()}
         if bound.async_blocks:
             raise UnsupportedForC(
                 "`async` blocks are not lowered to C by this backend",
@@ -297,7 +302,8 @@ class CEmitter:
         else:
             us = self.exp(s.exp)  # type: ignore[attr-defined]
         self.out(f"GATES[{gate.id}] = {resume}; "
-                 f"TIMERS[{gate.id}] = CEU_BASE + ({us});")
+                 f"TIMERS[{gate.id}] = CEU_BASE + ({us}); "
+                 f"TBASES[{gate.id}] = CEU_BASE;")
         self.out("break;")
         self.case(resume, "timer expired")
         self.out(f"GATES[{gate.id}] = 0;")
@@ -440,6 +446,30 @@ class CEmitter:
                          mem_size=self.layout.total, n_tracks=n_tracks,
                          event_ids=dict(self.event_ids))
 
+    def _bounds_block(self) -> str:
+        """Static resource bounds (docs/ANALYSIS.md) as capacity constants
+        checked against the generated tables at compile time."""
+        b = self.bounds
+        if b is None:
+            return ""
+        lines = [
+            "",
+            "/* ---- static resource bounds (repro lint, I501) ---- */",
+            f"#define CEU_MAX_TRAILS {b.max_trails}",
+            f"#define CEU_MAX_ARMED_TIMERS {b.max_armed_timers}",
+            f"#define CEU_MAX_EMIT_DEPTH {b.max_internal_emits}",
+            f"#define CEU_STATIC_MEM_BYTES {b.mem_bytes(self.abi)}",
+            "#if __STDC_VERSION__ >= 201112L",
+            '_Static_assert(QMAX >= CEU_MAX_TRAILS, '
+            '"track queue below trail bound");',
+            '_Static_assert(N_GATES >= CEU_MAX_ARMED_TIMERS, '
+            '"gate vector below timer bound");',
+            '_Static_assert(MEM_SIZE >= CEU_STATIC_MEM_BYTES, '
+            '"memory vector below static bound");',
+            "#endif",
+        ]
+        return "\n".join(lines)
+
     def _assemble(self, n_tracks: int) -> str:
         bound = self.bound
         gates = self.gates
@@ -451,7 +481,12 @@ class CEmitter:
             if g.kind in ("ext", "intl"):
                 gate_evt.append(str(self.event_ids[g.event]))
             elif g.kind == "time":
-                gate_evt.append("CEU_GK_TIME")
+                # computed timeouts (`await (exp)`) get their own gate
+                # kind: ceu_go_time fires them alone, one reaction each
+                node = self._node_of.get(g.node_nid)
+                gate_evt.append("CEU_GK_TEXP"
+                                if isinstance(node, ast.AwaitExp)
+                                else "CEU_GK_TIME")
             else:
                 gate_evt.append("CEU_GK_NONE")
         var_defs = []
@@ -489,11 +524,13 @@ typedef long long ceu_time_t;
 #define QMAX {n_gates * 2 + 16}
 #define CEU_GK_TIME (-1)
 #define CEU_GK_NONE (-2)
-
+#define CEU_GK_TEXP (-3)
+{self._bounds_block()}
 {chr(10).join(evt_enum)}
 
 static int GATES[N_GATES];
 static ceu_time_t TIMERS[N_GATES];
+static ceu_time_t TBASES[N_GATES];
 static const int GATE_EVT[N_GATES] = {{ {', '.join(gate_evt) or '0'} }};
 static unsigned char MEM[MEM_SIZE];
 static intptr_t EVT_VAL[N_EVTS];
@@ -604,24 +641,43 @@ int ceu_go_event(int evt, intptr_t val) {{
     return CEU_DONE;
 }}
 
+/* One reaction per expiring partition: timers armed in the same reaction
+ * (same TBASES) fire together, cross-epoch coincidences fire separately
+ * (most recently armed epoch first), and computed timeouts (CEU_GK_TEXP)
+ * fire alone — mirroring the temporal analysis' per-epoch exploration. */
 int ceu_go_time(ceu_time_t now) {{
     int g;
     if (CEU_DONE) return 1;
     CEU_CLOCK = now;
     for (;;) {{
-        ceu_time_t best = -1;
+        ceu_time_t best = -1, base = -1;
+        int texp_gate = -1;
         for (g = 0; g < N_GATES; g++)
-            if (GATE_EVT[g] == CEU_GK_TIME && GATES[g]
-                && (best < 0 || TIMERS[g] < best))
+            if ((GATE_EVT[g] == CEU_GK_TIME || GATE_EVT[g] == CEU_GK_TEXP)
+                && GATES[g] && (best < 0 || TIMERS[g] < best))
                 best = TIMERS[g];
         if (best < 0 || best > now) break;
-        CEU_SIG("time");
-        CEU_BASE = best;
         for (g = 0; g < N_GATES; g++)
             if (GATE_EVT[g] == CEU_GK_TIME && GATES[g]
-                && TIMERS[g] == best) {{
-                int lbl = GATES[g]; GATES[g] = 0; ceu_spawn(0, lbl);
+                && TIMERS[g] == best && TBASES[g] > base)
+                base = TBASES[g];
+        CEU_SIG("time");
+        CEU_BASE = best;
+        if (base >= 0) {{
+            for (g = 0; g < N_GATES; g++)
+                if (GATE_EVT[g] == CEU_GK_TIME && GATES[g]
+                    && TIMERS[g] == best && TBASES[g] == base) {{
+                    int lbl = GATES[g]; GATES[g] = 0; ceu_spawn(0, lbl);
+                }}
+        }} else {{
+            for (g = 0; g < N_GATES; g++)
+                if (GATE_EVT[g] == CEU_GK_TEXP && GATES[g]
+                    && TIMERS[g] == best) {{ texp_gate = g; break; }}
+            if (texp_gate >= 0) {{
+                int lbl = GATES[texp_gate]; GATES[texp_gate] = 0;
+                ceu_spawn(0, lbl);
             }}
+        }}
         ceu_flush();
         if (CEU_DONE) break;
     }}
@@ -672,6 +728,12 @@ int main(void) {{
 
 
 def compile_to_c(bound: BoundProgram, abi: TargetABI = HOST,
-                 with_main: bool = True, name: str = "ceu") -> CompiledC:
-    """Lower a bound program to a self-contained C99 translation unit."""
-    return CEmitter(bound, abi=abi, with_main=with_main, name=name).emit()
+                 with_main: bool = True, name: str = "ceu",
+                 bounds=None) -> CompiledC:
+    """Lower a bound program to a self-contained C99 translation unit.
+
+    ``bounds`` (an :class:`repro.analysis.bounds.ResourceBounds`) embeds
+    the statically derived resource maxima as checked capacity constants.
+    """
+    return CEmitter(bound, abi=abi, with_main=with_main, name=name,
+                    bounds=bounds).emit()

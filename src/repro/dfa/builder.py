@@ -16,7 +16,7 @@ from typing import Optional
 from ..lang.errors import AnalysisBudgetExceeded, NondeterminismError
 from ..sema.binder import BoundProgram
 from .abstract import AbstractMachine, freeze
-from .actions import Conflict, find_conflicts
+from .actions import EMIT, Conflict, find_conflicts
 
 
 @dataclass(eq=False)
@@ -61,6 +61,9 @@ class Dfa:
     edges: list[tuple[int, str, int]] = field(default_factory=list)
     conflicts: list[Conflict] = field(default_factory=list)
     truncated: bool = False
+    #: most internal-event emits any single reaction chain can perform —
+    #: an upper bound on the §2.2 event-stack depth (each emit pushes once)
+    max_internal_emits: int = 0
 
     @property
     def deterministic(self) -> bool:
@@ -112,6 +115,15 @@ class DfaBuilder:
     def build(self) -> Dfa:
         dfa = Dfa()
         index_of: dict[tuple, int] = {}
+        internal_uids = {sym.uid for sym in self.bound.events.values()
+                         if sym.is_internal}
+
+        def note_emits(actions) -> None:
+            n = sum(1 for a in actions
+                    if a.kind == EMIT and a.key[0] == "evt"
+                    and a.key[1] in internal_uids)
+            if n > dfa.max_internal_emits:
+                dfa.max_internal_emits = n
 
         def intern(config: tuple) -> tuple[int, bool]:
             if config in index_of:
@@ -128,6 +140,7 @@ class DfaBuilder:
             conflicts = find_conflicts(actions, chains,
                                        self.bound.annotations, "boot", 0)
             dfa.conflicts.extend(conflicts)
+            note_emits(actions)
             idx, fresh = intern(config)
             dfa.edges.append((-1, "boot", idx))
             if fresh:
@@ -148,6 +161,7 @@ class DfaBuilder:
                         actions, chains, self.bound.annotations, trigger,
                         src)
                     dfa.conflicts.extend(conflicts)
+                    note_emits(actions)
                     if self.stop_at_first and dfa.conflicts:
                         idx, _ = intern(config)
                         dfa.edges.append((src, trigger, idx))

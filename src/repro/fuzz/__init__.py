@@ -12,16 +12,18 @@ reach.  Entry points:
 * ``python -m repro fuzz`` — the CLI front end.
 """
 
-from .gen import (CORPUS_PROFILES, DIFF, GenCase, GenConfig, ProgramGen,
-                  generate_case, relay_program, script_text)
-from .oracles import (FAULTS, OracleFailure, RunResult, check_case,
-                      has_gcc, run_c, run_vm)
+from .gen import (CORPUS_PROFILES, DIFF, PRIO, PROFILES, GenCase,
+                  GenConfig, ProgramGen, generate_case, parse_script_text,
+                  relay_program, script_text)
+from .oracles import (FAULTS, OracleFailure, RunResult, bounds_violations,
+                      canon_psig, check_case, has_gcc, run_c, run_vm)
 from .runner import FuzzRunner
 from .shrink import ShrinkResult, shrink
 
 __all__ = [
     "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "GenCase",
-    "GenConfig", "OracleFailure", "ProgramGen", "RunResult",
-    "ShrinkResult", "check_case", "generate_case", "has_gcc",
+    "GenConfig", "OracleFailure", "PRIO", "PROFILES", "ProgramGen",
+    "RunResult", "ShrinkResult", "bounds_violations", "canon_psig",
+    "check_case", "generate_case", "has_gcc", "parse_script_text",
     "relay_program", "run_c", "run_vm", "script_text", "shrink",
 ]

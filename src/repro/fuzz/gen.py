@@ -63,6 +63,7 @@ class GenConfig:
     await_budget: int = 40
     loop_iters: tuple[int, int] = (2, 3)
     max_par_branches: int = 3
+    prio_gadgets: int = 0         # §4.1 join-priority gadgets per program
     weights: dict[str, float] = field(
         default_factory=lambda: dict(DEFAULT_WEIGHTS))
 
@@ -83,6 +84,18 @@ CORPUS_PROFILES: dict[str, GenConfig] = {
     "timer": replace(DIFF, weights={
         **DEFAULT_WEIGHTS, "await_time": 4.0, "loop": 1.5,
         "await_ext": 0.5}),
+}
+
+#: the schedule-diversity profile: every program carries nested-rejoin
+#: gadgets whose emit ordering is observable in the portable signature,
+#: so a backend that runs §4.1 join continuations at flat priority
+#: diverges from the glitch-free VM (the blind spot the plain profiles
+#: left: their parallels rarely rejoin *and* observe the join order)
+PRIO = replace(DIFF, prio_gadgets=3, top_stmts=(2, 5))
+
+#: every profile the CLI accepts (``repro fuzz --profile``)
+PROFILES: dict[str, GenConfig] = {
+    "diff": DIFF, **CORPUS_PROFILES, "prio": PRIO,
 }
 
 
@@ -108,6 +121,31 @@ def script_text(script: list[tuple]) -> str:
         else:
             out.append(f"T {item[1]}")
     return "\n".join(out) + "\n"
+
+
+def parse_script_text(text: str) -> list[tuple]:
+    """Inverse of :func:`script_text` (``repro run --inputs FILE``).
+
+    One stimulus per line — ``E NAME [VALUE]`` delivers an external
+    event, ``T US`` advances absolute time; blank lines and ``#``
+    comments are skipped.
+    """
+    script: list[tuple] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if parts[0] == "E" and len(parts) in (2, 3):
+            value = int(parts[2]) if len(parts) == 3 else 0
+            script.append(("E", parts[1], value))
+        elif parts[0] == "T" and len(parts) == 2:
+            script.append(("T", int(parts[1])))
+        else:
+            raise ValueError(
+                f"script line {lineno}: expected 'E NAME [VALUE]' or "
+                f"'T US', got {raw!r}")
+    return script
 
 
 class _Scope:
@@ -420,6 +458,34 @@ class ProgramGen:
             per_iter = self.awaits - before
             self.awaits += per_iter * (iters - 1)
 
+    def gen_prio_gadget(self, scope: _Scope, idx: int,
+                        depth: int = 0) -> None:
+        """A §4.1 join-order probe: two sibling trails wake on the same
+        external event; one finishes its ``par/or`` directly, the other
+        through a *nested* rejoin whose continuation emits.  Glitch-free
+        join priorities run the inner continuation (``g<idx>b``) before
+        the outer kill reaches it; a flat-priority backend may kill the
+        inner branch first and lose the emit and the ``vb`` update.  The
+        gadget events are dedicated, never-awaited internal voids, so
+        only the portable signature (``==EMIT`` order) observes them and
+        the temporal analysis still accepts the program."""
+        event = self.rng.choice(EXT_EVENTS)
+        va, vb = self.rng.sample(scope.variables, 2)
+        self.awaits += 1
+        self.out("par/or do", depth)
+        self.out(f"await {event};", depth + 1)
+        self.out(f"{va} = {va} + 1;", depth + 1)
+        self.out(f"emit g{idx}a;", depth + 1)
+        self.out("with", depth)
+        self.out("par/or do", depth + 1)
+        self.out(f"await {event};", depth + 2)
+        self.out(f"{vb} = {vb} + 1;", depth + 2)
+        self.out("with", depth + 1)
+        self.out("await forever;", depth + 2)
+        self.out("end", depth + 1)
+        self.out(f"emit g{idx}b;", depth + 1)
+        self.out("end", depth)
+
     def gen_consumer(self, scope: _Scope, depth: int,
                      chain_evt: tuple[str, str]) -> None:
         """An emit-chain consumer: awaits its own internal event once and
@@ -453,6 +519,11 @@ class ProgramGen:
             self.lines.append(f"internal void {', '.join(voids)};")
         if ints:
             self.lines.append(f"internal int {', '.join(ints)};")
+        gadgets = list(range(cfg.prio_gadgets))
+        if gadgets:
+            names = ", ".join(f"g{i}{suffix}"
+                              for i in gadgets for suffix in "ab")
+            self.lines.append(f"internal void {names};")
         variables = [f"v{i}" for i in range(cfg.n_vars)]
         inits = ", ".join(f"{v} = {self.rng.randrange(10)}"
                           for v in variables)
@@ -461,9 +532,13 @@ class ProgramGen:
                        voids, ints, exclusive=True)
         lo, hi = cfg.top_stmts
         for _ in range(self.rng.randrange(lo, hi + 1)):
+            if gadgets and self.rng.random() < 0.5:
+                self.gen_prio_gadget(scope, gadgets.pop(0))
             if self.awaits >= cfg.await_budget:
                 break
             self.stmt(scope, 0, 0)
+        for idx in gadgets:  # any gadget the dice didn't place yet
+            self.gen_prio_gadget(scope, idx)
         checksum = " + ".join(variables)
         self.lines.append(f"return {checksum};")
         src = "\n".join(self.lines)

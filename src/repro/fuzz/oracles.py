@@ -61,6 +61,7 @@ class RunResult:
     signature: Optional[tuple] = None  # full VM signature (VM only)
     psig: Optional[tuple] = None       # portable cross-backend signature
     memory: Optional[dict] = None      # final memory snapshot (VM only)
+    stats: Optional[dict] = None       # metrics snapshot (VM, observe=True)
 
     def observable(self) -> tuple:
         """The cross-backend comparison key (no-return normalises to 0)."""
@@ -80,11 +81,20 @@ def drive_vm(program: Program, script: Script) -> None:
             program.at(item[1])
 
 
-def run_vm(src: str, script: Script, trace: bool = True) -> RunResult:
-    """Execute on the reference VM; any exception is the caller's bug."""
+def run_vm(src: str, script: Script, trace: bool = True,
+           observe: bool = False,
+           reverse_seeds: bool = False) -> RunResult:
+    """Execute on the reference VM; any exception is the caller's bug.
+
+    ``observe`` attaches the metrics collector and fills ``stats`` (the
+    static-bounds oracle reads the high-water gauges); ``reverse_seeds``
+    flips every intra-reaction seeding order the semantics leaves open
+    (the schedule-independence oracle).
+    """
     res = RunResult(backend="vm")
     try:
-        program = Program(src, trace=trace)
+        program = Program(src, trace=trace, observe=observe,
+                          reverse_seeds=reverse_seeds)
         drive_vm(program, script)
     except Exception:
         res.ok = False
@@ -97,6 +107,8 @@ def run_vm(src: str, script: Script, trace: bool = True) -> RunResult:
         res.signature = program.trace.signature()
         res.psig = program.trace.portable_signature()
     res.memory = program.sched.memory.snapshot()
+    if observe:
+        res.stats = program.stats()
     return res
 
 
@@ -201,7 +213,8 @@ FAULTS: dict[str, Callable[[str], str]] = {
 class OracleFailure:
     """One oracle disagreement, with everything needed to reproduce."""
 
-    oracle: str                 # "well-formed" | "vm-crash" | "replay" | "vm-vs-c"
+    oracle: str                 # "well-formed" | "vm-crash" | "replay"
+                                # | "static-bounds" | "schedule" | "vm-vs-c"
     seed: int
     src: str
     script: Script
@@ -221,6 +234,46 @@ def analyses_verdict(src: str, max_states: int = 5_000) -> str:
     except CeuError:
         return "giveup"
     return "refuse" if dfa.conflicts else "accept"
+
+
+def bounds_violations(bounds, stats: dict) -> dict:
+    """Compare a run's observed high-water marks against the static
+    resource bounds; returns ``{metric: {"observed", "bound"}}`` for
+    every violation (empty = the bounds are sound for this run)."""
+    gauges = stats.get("gauges", {})
+    hists = stats.get("histograms", {})
+
+    def hw(name: str) -> int:
+        return gauges.get(name, {}).get("max", 0)
+
+    checks = {
+        "max_trails": (hw("live_trails"), bounds.max_trails),
+        "max_armed_timers": (hw("armed_timers"),
+                             bounds.max_armed_timers),
+        "max_async_jobs": (hw("async_jobs_live"), bounds.max_async_jobs),
+        "mem_slots": (hw("memory_slots"), bounds.mem_slots),
+        "max_internal_emits": (hw("emits_per_reaction"),
+                               bounds.max_internal_emits),
+        # each nested emit pushes the §2.2 stack at most once, so the
+        # per-reaction emit count also bounds the stack depth
+        "emit_stack_depth": (hists.get("emit_stack_depth",
+                                       {}).get("max") or 0,
+                             bounds.max_internal_emits),
+    }
+    return {name: {"observed": observed, "bound": bound_}
+            for name, (observed, bound_) in checks.items()
+            if observed > bound_}
+
+
+def canon_psig(psig: Optional[tuple]) -> Optional[tuple]:
+    """Schedule-independent view of a portable signature: the emit *set*
+    per reaction.  Concurrent trails may emit *different* internal
+    events in one reaction in either order without the temporal analysis
+    objecting — only the per-reaction multiset is semantics."""
+    if psig is None:
+        return None
+    return tuple((trigger, tuple(sorted(emits)))
+                 for trigger, emits in psig)
 
 
 def _diff(vm: RunResult, c: RunResult) -> dict:
@@ -253,9 +306,10 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
 
     Returns ``(verdict, failures)`` where ``verdict`` is the temporal
     analysis verdict ("accept"/"refuse"/"giveup"/"ill-formed").  The
-    VM↔C oracle only applies to accepted programs — the language only
-    promises determinism for those — while replay and no-crash apply to
-    every well-formed program.
+    VM↔C and schedule-independence oracles only apply to accepted
+    programs — the language only promises determinism for those — the
+    static-bounds oracle to every program the DFA covered, and replay
+    and no-crash to every well-formed program.
     """
     failures: list[OracleFailure] = []
 
@@ -266,12 +320,17 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
 
     # 1. generated programs are well-formed by construction
     try:
-        check_bounded(bind(parse(case.src)))
+        bound = bind(parse(case.src))
+        check_bounded(bound)
     except CeuError as err:
         fail("well-formed", error=str(err))
         return "ill-formed", failures
     try:
-        verdict = analyses_verdict(case.src)
+        dfa = build_dfa(bound, max_states=5_000)
+        verdict = "refuse" if dfa.conflicts else "accept"
+    except CeuError:
+        dfa = None
+        verdict = "giveup"
     except Exception:
         fail("well-formed", error=traceback.format_exc(limit=8))
         return "ill-formed", failures
@@ -283,7 +342,9 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
         return verdict, failures
 
     # 3. §2.8 replay determinism: same inputs, bit-identical behaviour
-    vm2 = run_vm(case.src, case.script)
+    #    (the replay run carries the metrics collector for oracle 4 —
+    #    observation is passive and must not perturb the signature)
+    vm2 = run_vm(case.src, case.script, observe=True)
     if not vm2.ok:
         fail("vm-crash", error=vm2.error, verdict=verdict, replay=True)
         return verdict, failures
@@ -293,7 +354,34 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
         fail("replay", first={"output": vm.output, "result": vm.result},
              second={"output": vm2.output, "result": vm2.result})
 
-    # 4. VM ↔ C differential (accepted programs, gcc available)
+    # 4. static resource bounds dominate the observed high-water marks
+    #    (sound for accepted AND refused programs: the DFA still covers
+    #    every path, it merely also found a conflict)
+    if dfa is not None and vm2.stats is not None:
+        from ..analysis.bounds import compute_bounds
+
+        bounds = compute_bounds(bound, dfa)
+        violations = bounds_violations(bounds, vm2.stats)
+        if violations:
+            fail("static-bounds", violations=violations,
+                 bounds=bounds.as_dict(), verdict=verdict)
+
+    # 5. schedule independence: a statically-clean program must behave
+    #    identically under every seeding order the semantics leaves open
+    if verdict == "accept":
+        vmr = run_vm(case.src, case.script, reverse_seeds=True)
+        if not vmr.ok:
+            fail("schedule", error=vmr.error, reverse_seeds=True)
+        elif (vm.done != vmr.done or vm.result != vmr.result
+                or vm.output != vmr.output or vm.memory != vmr.memory
+                or canon_psig(vm.psig) != canon_psig(vmr.psig)):
+            fail("schedule",
+                 forward={"output": vm.output, "result": vm.result,
+                          "psig": vm.psig},
+                 reversed={"output": vmr.output, "result": vmr.result,
+                           "psig": vmr.psig})
+
+    # 6. VM ↔ C differential (accepted programs, gcc available)
     if use_c and verdict == "accept" and has_gcc() and workdir is not None:
         c = run_c(case.src, case.script, workdir,
                   name=f"fz{case.seed}", mutate=mutate)

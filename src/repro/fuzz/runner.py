@@ -42,10 +42,12 @@ class FuzzRunner:
     def __init__(self, seed: int = 0, config: GenConfig = DIFF,
                  use_c: bool = True, fault: Optional[str] = None,
                  do_shrink: bool = False, report: Optional[str] = None,
+                 profile: str = "diff",
                  log: Callable[[str], None] = lambda msg: print(
                      msg, file=sys.stderr)):
         self.seed = seed
         self.config = config
+        self.profile = profile
         self.use_c = use_c and has_gcc()
         self.mutate = FAULTS[fault] if fault else None
         self.do_shrink = do_shrink
@@ -80,7 +82,8 @@ class FuzzRunner:
                     break
                 if deadline is not None and time.monotonic() >= deadline:
                     break
-                self._one_case(generate_case(seed, self.config), tmp)
+                self._one_case(generate_case(seed, self.config,
+                                             self.profile), tmp)
                 seed += 1
         self._record("fuzz_summary", cases=self.stats.cases,
                      accepted=self.stats.accepted,

@@ -166,23 +166,35 @@ class MetricsCollector(HookSubscriber):
         self.reaction_latency = r.histogram("reaction_latency_us",
                                             LATENCY_BUCKETS)
         self.emit_depth = r.histogram("emit_stack_depth", DEPTH_BUCKETS)
+        self._emits_this_reaction = 0
 
     # ------------------------------------------------------------ hooks
     def on_reaction_begin(self, index, trigger, value, time_us) -> None:
         self.reactions.inc()
         self.registry.counter(f"reactions_by_trigger.{_family(trigger)}") \
             .inc()
+        self._emits_this_reaction = 0
 
     def on_reaction_end(self, index, trigger, steps, wall_ns) -> None:
         self.steps_per_reaction.record(steps)
         self.reaction_latency.record(wall_ns // 1000)
+        r = self.registry
+        r.gauge("emits_per_reaction").set(self._emits_this_reaction)
         s = self.sampled
         if s is not None:
-            r = self.registry
             r.gauge("live_trails").set(len(s._live))
             r.gauge("timer_heap_size").set(len(s.timers))
             r.gauge("async_jobs").set(len(s.async_jobs))
             r.gauge("input_queue_depth").set(len(s.input_queue))
+            # precise variants sampled for the static-bounds cross-check
+            # (the heap/deque sizes above can include dead entries)
+            r.gauge("armed_timers").set(
+                sum(1 for entry in s.timers
+                    if entry[-1].alive and entry[-1].waiting == "time"))
+            r.gauge("async_jobs_live").set(
+                sum(1 for job in s.async_jobs
+                    if not job.aborted and not job.done))
+            r.gauge("memory_slots").set(s.memory.slot_count())
 
     def on_step(self, trail, path, kind, line) -> None:
         self.steps.inc()
@@ -199,6 +211,7 @@ class MetricsCollector(HookSubscriber):
     def on_emit_internal(self, name, depth, trail, time_us) -> None:
         self.emits_internal.inc()
         self.emit_depth.record(depth)
+        self._emits_this_reaction += 1
         self.registry.counter(f"emits_by_event.{name}").inc()
 
     def on_emit_output(self, name, value, time_us) -> None:

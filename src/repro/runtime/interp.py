@@ -133,7 +133,9 @@ class Interp:
         if isinstance(s, ast.AwaitExp):
             us = as_int(self.ev.eval(s.exp), "await timeout")
             self._note_await(trail, "time")
-            delta = yield ("time", us)
+            # the `computed` marker makes the scheduler fire this timeout
+            # in its own reaction, matching the analysis' `tunk` trigger
+            delta = yield ("time", us, True)
             return delta
         if isinstance(s, ast.AwaitForever):
             self._note_await(trail, "forever")

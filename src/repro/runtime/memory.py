@@ -47,6 +47,11 @@ class Memory:
             self.declare(sym)
         return CellRef(self._slots, sym)
 
+    def slot_count(self) -> int:
+        """Live slots — bounded by the program's variable count (slots are
+        keyed per symbol and re-declaration reuses the key)."""
+        return len(self._slots)
+
     def snapshot(self) -> dict[str, Any]:
         """Debug view: name → value (later declarations shadow earlier)."""
         return {sym.name: value for sym, value in self._slots.items()}

@@ -44,7 +44,8 @@ class Program:
                  cenv: Optional[CEnv] = None, trace: bool = False,
                  observe: bool = False, hooks: Optional[HookBus] = None,
                  check: bool = True, filename: str = "<ceu>",
-                 compensate_deltas: bool = True, glitch_free: bool = True):
+                 compensate_deltas: bool = True, glitch_free: bool = True,
+                 reverse_seeds: bool = False):
         if isinstance(source, str):
             program = parse(source, filename)
             bound = bind(program)
@@ -59,7 +60,8 @@ class Program:
         self.sched = Scheduler(bound, cenv=cenv, trace=self.trace,
                                hooks=hooks,
                                compensate_deltas=compensate_deltas,
-                               glitch_free=glitch_free)
+                               glitch_free=glitch_free,
+                               reverse_seeds=reverse_seeds)
         if observe:
             self.sched.enable_metrics()
 

@@ -53,13 +53,18 @@ class Scheduler:
                  hooks: Optional[HookBus] = None,
                  step_limit: int = 5_000_000,
                  compensate_deltas: bool = True,
-                 glitch_free: bool = True):
+                 glitch_free: bool = True,
+                 reverse_seeds: bool = False):
         self.bound = bound
         #: ablation switches (§2.3 residual deltas, §4.1 join priorities);
         #: both default to the paper's design — disabling them reproduces
         #: the failure modes the paper designs against
         self.compensate_deltas = compensate_deltas
         self.glitch_free = glitch_free
+        #: schedule-diversity switch for the analyzer-soundness oracle:
+        #: seed every reaction in reversed arrival order.  Any program the
+        #: temporal analysis accepts must behave identically either way.
+        self.reverse_seeds = reverse_seeds
         self.memory = Memory()
         self.cenv = cenv if cenv is not None else CEnv()
         self.ev = Evaluator(bound, self.memory, self.cenv)
@@ -85,7 +90,10 @@ class Scheduler:
         self.ext_waiting: dict[str, list[Trail]] = {}
         self.int_waiting: dict[str, list[Trail]] = {}
         self.forever: list[Trail] = []
-        self.timers: list[tuple[int, int, Trail]] = []   # heap
+        #: heap of (deadline, arming_base, computed?, seq, trail) — the
+        #: base/computed components partition coincident deadlines into
+        #: per-epoch reactions (see :meth:`go_time`)
+        self.timers: list[tuple[int, int, int, int, Trail]] = []
         self.async_jobs: deque[AsyncJob] = deque()
         self.input_queue: deque[tuple[str, Any]] = deque()
         self.output_handler: Optional[Callable[[str, Any], None]] = None
@@ -187,6 +195,8 @@ class Scheduler:
         def seed() -> None:
             waiting = self.ext_waiting.get(name, [])
             self.ext_waiting[name] = []
+            if self.reverse_seeds:
+                waiting = list(reversed(waiting))
             for trail in waiting:
                 if trail.alive:
                     self._enqueue_resume(trail, value)
@@ -212,20 +222,48 @@ class Scheduler:
             deadline = self._next_deadline()
             if deadline is None or deadline > now:
                 break
-            batch: list[tuple[int, Trail]] = []
+            # Pop everything at this absolute deadline, then partition it:
+            # timers armed in the same reaction (same base) fire together,
+            # cross-epoch coincidences fire as separate reactions, and
+            # computed timeouts (`await (exp)`) always fire alone.  This is
+            # exactly the batching the temporal analysis explores (one
+            # epoch per `fire_timer`, one `tunk` per `fire_unknown_timer`),
+            # so its per-reaction bounds hold for the concrete scheduler.
+            popped: list[tuple[int, int, int, Trail]] = []
             while self.timers and self.timers[0][0] == deadline:
-                _, seq, trail = heapq.heappop(self.timers)
+                _, base, computed, seq, trail = heapq.heappop(self.timers)
                 if trail.alive and trail.waiting == "time":
-                    batch.append((seq, trail))
+                    popped.append((computed, base, seq, trail))
+            # most recently armed epoch first (the freshly re-armed short
+            # timer beats the long-armed watchdog expiring with it),
+            # computed timeouts last
+            popped.sort(key=lambda item: (item[0], -item[1], item[2]))
+            parts: list[list[Trail]] = []
+            last_key: Optional[tuple] = None
+            for computed, base, seq, trail in popped:
+                key = (computed, base, seq if computed else -1)
+                if key != last_key:
+                    parts.append([])
+                    last_key = key
+                parts[-1].append(trail)
             delta = now - deadline
-            if self.hooks.enabled:
-                self.hooks.timer_fire(deadline, delta, len(batch))
+            for part in parts:
+                if self.done:
+                    break
+                # an earlier partition's reaction may have killed these
+                live = [t for t in part
+                        if t.alive and t.waiting == "time"]
+                if not live:
+                    continue
+                if self.hooks.enabled:
+                    self.hooks.timer_fire(deadline, delta, len(live))
 
-            def seed(batch=batch, delta=delta) -> None:
-                for _, trail in sorted(batch):
-                    self._enqueue_resume(trail, delta)
+                def seed(live=live, delta=delta) -> None:
+                    order = reversed(live) if self.reverse_seeds else live
+                    for trail in order:
+                        self._enqueue_resume(trail, delta)
 
-            self._react("time", deadline, seed, base=deadline)
+                self._react("time", deadline, seed, base=deadline)
         return TERMINATED if self.done else RUNNING
 
     def advance_time(self, us: int) -> str:
@@ -283,8 +321,8 @@ class Scheduler:
                   for t in lst if t.alive)
         internal = sum(1 for lst in self.int_waiting.values()
                        for t in lst if t.alive)
-        timers = sum(1 for _, _, t in self.timers
-                     if t.alive and t.waiting == "time")
+        timers = sum(1 for entry in self.timers
+                     if entry[-1].alive and entry[-1].waiting == "time")
         forever = sum(1 for t in self.forever if t.alive)
         return ext + internal + timers + forever
 
@@ -409,10 +447,12 @@ class Scheduler:
             timeout = req[1]
             if timeout < 0:
                 raise RuntimeCeuError("negative timeout")
+            computed = 1 if len(req) > 2 and req[2] else 0
             base = trail.time_base if self.compensate_deltas else self.clock
             deadline = base + timeout
             heapq.heappush(self.timers,
-                           (deadline, next(self._seq), trail))
+                           (deadline, base, computed, next(self._seq),
+                            trail))
             if self.hooks.enabled:
                 self.hooks.timer_schedule(deadline, trail.label, self.clock)
             # an already-late deadline is picked up by the next go_time
@@ -464,7 +504,10 @@ class Scheduler:
         region = owner.path + (next(self._region_seq),)
         join = Join(node=node, mode=node.mode, owner=owner, region=region,
                     depth=self.depth(node), n_branches=len(node.blocks))
-        for i, block in enumerate(node.blocks):
+        branches = list(enumerate(node.blocks))
+        if self.reverse_seeds:
+            branches.reverse()
+        for i, block in branches:
             label = f"{owner.label}.{i + 1}" if owner.label != "main" \
                 else f"trail{i + 1}"
             child = Trail(gen=None, path=region + (i,), parent_join=join,
@@ -520,6 +563,8 @@ class Scheduler:
             if not waiting:
                 return  # no one awaiting: the occurrence is discarded
             self.int_waiting[sym.name] = []
+            if self.reverse_seeds:
+                waiting = list(reversed(waiting))
             for trail in waiting:
                 if trail.alive and trail.waiting == "int":
                     self._run_trail(trail, value)
@@ -567,9 +612,9 @@ class Scheduler:
     # ------------------------------------------------------------- helpers
     def _next_deadline(self) -> Optional[int]:
         while self.timers:
-            deadline, _, trail = self.timers[0]
-            if trail.alive and trail.waiting == "time":
-                return deadline
+            entry = self.timers[0]
+            if entry[-1].alive and entry[-1].waiting == "time":
+                return entry[0]
             heapq.heappop(self.timers)
         return None
 

@@ -27,6 +27,12 @@ An empty set means control never leaves (e.g. ``await forever``, a ``par``
 that never rejoins).  A loop is valid iff its body's outcome set does not
 contain ``CZ``.  ``async`` bodies are exempt — unbounded loops are their
 purpose (§2.7).
+
+The walk reports findings through a :class:`BoundedSink`.  The default
+sink raises :class:`BoundedError` at the first tight loop (the compiler's
+refusal); the analysis engine substitutes a collecting sink that records
+every tight loop, unreachable statement, and never-rejoining parallel and
+lets the walk continue.
 """
 
 from __future__ import annotations
@@ -44,14 +50,39 @@ _MARK_AWAITED = {CZ: CA, CA: CA, EZ: EA, EA: EA, RZ: RA, RA: RA}
 Outcomes = frozenset
 
 
+class BoundedSink:
+    """Receiver for the walk's findings; the default refuses tight loops
+    and ignores the informational ones."""
+
+    def tight_loop(self, loop: ast.Loop) -> None:
+        raise BoundedError(
+            "loop body has a path with neither `await` nor `break` — "
+            "the reaction chain would not terminate", loop.span)
+
+    def unreachable(self, stmt: ast.Stmt, count: int) -> None:
+        """``stmt`` (and ``count - 1`` statements after it) can never run."""
+
+    def par_never_rejoins(self, par: ast.ParStmt) -> None:
+        """A rejoining ``par/or``/``par/and`` whose control never leaves."""
+
+
+_RAISING = BoundedSink()
+
+
 def check_bounded(bound: BoundProgram) -> None:
     """Raise :class:`BoundedError` on the first tight loop found."""
-    _outcomes_block(bound.program.body, bound)
+    _outcomes_block(bound.program.body, bound, _RAISING)
+
+
+def analyze_bounded(bound: BoundProgram, sink: BoundedSink) -> Outcomes:
+    """Run the full walk, reporting every finding through ``sink``
+    (accumulate-don't-raise when the sink does not raise)."""
+    return _outcomes_block(bound.program.body, bound, sink)
 
 
 def loop_outcomes(bound: BoundProgram, node: ast.Node) -> Outcomes:
     """Expose the outcome set of an arbitrary statement (used by tests)."""
-    return _outcomes_stmt(node, bound)
+    return _outcomes_stmt(node, bound, _RAISING)
 
 
 def _seq(first: Outcomes, rest: Outcomes) -> Outcomes:
@@ -63,36 +94,43 @@ def _seq(first: Outcomes, rest: Outcomes) -> Outcomes:
     return frozenset(out)
 
 
-def _outcomes_block(block: ast.Block, bound: BoundProgram) -> Outcomes:
+def _outcomes_block(block: ast.Block, bound: BoundProgram,
+                    sink: BoundedSink) -> Outcomes:
     acc: Outcomes = frozenset({CZ})  # empty block completes instantly
     for i, stmt in enumerate(block.stmts):
-        acc = _seq(acc, _outcomes_stmt(stmt, bound))
+        acc = _seq(acc, _outcomes_stmt(stmt, bound, sink))
         if not acc & _COMPLETIONS:
             # nothing ever flows past this statement; later statements are
             # unreachable but must still be *checked* for tight loops.
-            for later in block.stmts[i + 1:]:
-                _outcomes_stmt(later, bound)
+            rest = block.stmts[i + 1:]
+            if rest:
+                sink.unreachable(rest[0], len(rest))
+            for later in rest:
+                _outcomes_stmt(later, bound, sink)
             return acc
     return acc
 
 
-def _setexp_outcomes(value: ast.Node, bound: BoundProgram) -> Outcomes:
+def _setexp_outcomes(value: ast.Node, bound: BoundProgram,
+                     sink: BoundedSink) -> Outcomes:
     if isinstance(value, ast.Exp):
         return frozenset({CZ})
-    return _outcomes_stmt(value, bound)
+    return _outcomes_stmt(value, bound, sink)
 
 
-def _outcomes_stmt(s: ast.Stmt, bound: BoundProgram) -> Outcomes:
+def _outcomes_stmt(s: ast.Stmt, bound: BoundProgram,
+                   sink: BoundedSink) -> Outcomes:
     """Outcome set of a statement, converting caught returns at value
     boundaries (``v = do/par/async ... end``) into completions."""
-    out = _outcomes_stmt_raw(s, bound)
+    out = _outcomes_stmt_raw(s, bound, sink)
     if s.nid in bound.value_boundaries:
         mapped = {RA: CA, RZ: CZ}
         out = frozenset(mapped.get(o, o) for o in out)
     return out
 
 
-def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram) -> Outcomes:
+def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram,
+                       sink: BoundedSink) -> Outcomes:
     if isinstance(s, (ast.AwaitExt, ast.AwaitInt, ast.AwaitTime,
                       ast.AwaitExp)):
         return frozenset({CA})
@@ -107,16 +145,17 @@ def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram) -> Outcomes:
         # loops inside the async are intentionally unchecked.
         return frozenset({CA})
     if isinstance(s, ast.If):
-        then = _outcomes_block(s.then, bound)
+        then = _outcomes_block(s.then, bound, sink)
         if s.orelse is not None:
-            return then | _outcomes_block(s.orelse, bound)
+            return then | _outcomes_block(s.orelse, bound, sink)
         return then | frozenset({CZ})
     if isinstance(s, ast.Loop):
-        body = _outcomes_block(s.body, bound)
+        body = _outcomes_block(s.body, bound, sink)
         if CZ in body:
-            raise BoundedError(
-                "loop body has a path with neither `await` nor `break` — "
-                "the reaction chain would not terminate", s.span)
+            sink.tight_loop(s)
+            # a collecting sink returns: continue as if the offending
+            # zero-time path did not exist, to find further issues
+            body = body - {CZ}
         out: set[str] = set()
         if EA in body:
             out.add(CA)
@@ -125,7 +164,7 @@ def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram) -> Outcomes:
         out |= {o for o in body if o in (RA, RZ)}
         return frozenset(out)
     if isinstance(s, ast.ParStmt):
-        branch_outs = [_outcomes_block(b, bound) for b in s.blocks]
+        branch_outs = [_outcomes_block(b, bound, sink) for b in s.blocks]
         out: set[str] = set()
         for branch in branch_outs:
             out |= {o for o in branch if o not in _COMPLETIONS}
@@ -139,16 +178,19 @@ def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram) -> Outcomes:
                 if any(CA in branch for branch in branch_outs):
                     out.add(CA)
         # plain `par` never rejoins: no completions
+        if s.mode in ("or", "and") and not out:
+            sink.par_never_rejoins(s)
         return frozenset(out)
     if isinstance(s, ast.DoBlock):
-        return _outcomes_block(s.body, bound)
+        return _outcomes_block(s.body, bound, sink)
     if isinstance(s, ast.DeclVar):
         acc: Outcomes = frozenset({CZ})
         for declarator in s.decls:
             if declarator.init is not None:
-                acc = _seq(acc, _setexp_outcomes(declarator.init, bound))
+                acc = _seq(acc, _setexp_outcomes(declarator.init, bound,
+                                                 sink))
         return acc
     if isinstance(s, ast.Assign):
-        return _setexp_outcomes(s.value, bound)
+        return _setexp_outcomes(s.value, bound, sink)
     # declarations, emits, C calls, annotations, nothing: zero-time
     return frozenset({CZ})

@@ -8,10 +8,12 @@ import pytest
 
 from helpers import requires_gcc
 from repro.cli import main
-from repro.fuzz import (CORPUS_PROFILES, FAULTS, FuzzRunner, GenCase,
-                        check_case, generate_case, script_text, shrink)
+from repro.fuzz import (CORPUS_PROFILES, FAULTS, PRIO, PROFILES,
+                        FuzzRunner, GenCase, check_case, generate_case,
+                        parse_script_text, script_text, shrink)
 from repro.fuzz.gen import ROUND_US
-from repro.fuzz.oracles import analyses_verdict, has_gcc, run_vm
+from repro.fuzz.oracles import analyses_verdict, canon_psig, has_gcc, \
+    run_vm
 from repro.lang import parse
 from repro.sema import bind, check_bounded
 
@@ -58,6 +60,45 @@ def test_script_is_monotone_and_rendered():
     assert text.count("\n") == len(case.script)
 
 
+def test_script_text_round_trips():
+    case = generate_case(11)
+    assert parse_script_text(script_text(case.script)) == case.script
+    assert parse_script_text("# note\n\nE A\n") == [("E", "A", 0)]
+    with pytest.raises(ValueError):
+        parse_script_text("Q what\n")
+
+
+def test_profile_registry_covers_the_cli_choices():
+    assert set(PROFILES) == {"diff", "deep", "emit", "timer", "prio"}
+    assert PROFILES["prio"] is PRIO and PRIO.prio_gadgets > 0
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_prio_profile_programs_are_well_formed_and_terminate(seed):
+    case = generate_case(seed, PRIO, "prio")
+    check_bounded(bind(parse(case.src)))
+    assert "par/or do" in case.src  # the gadgets made it in
+    vm = run_vm(case.src, case.script)
+    assert vm.ok and vm.done, vm.error
+
+
+def test_prio_gadget_emits_in_glitch_free_order():
+    """The inner rejoin's continuation (g*b) must run — and run after
+    the direct branch's emit (g*a) — under §4.1 join priorities."""
+    for seed in range(8):
+        case = generate_case(seed, PRIO, "prio")
+        if analyses_verdict(case.src) != "accept":
+            continue
+        vm = run_vm(case.src, case.script)
+        gadget_reactions = [e for _t, e in vm.psig
+                            if any(x.startswith("g") for x in e)]
+        assert gadget_reactions, f"seed {seed}: gadgets never fired"
+        for emits in gadget_reactions:
+            pairs = [x for x in emits if x.startswith("g")]
+            assert pairs == sorted(pairs), (seed, emits)
+            assert any(x.endswith("b") for x in pairs), (seed, emits)
+
+
 # ---------------------------------------------------------------------------
 # oracles
 # ---------------------------------------------------------------------------
@@ -94,6 +135,59 @@ def test_injected_faults_are_caught(fault, tmp_path):
             caught = True
             break
     assert caught, f"fault {fault} survived 8 seeds"
+
+
+@requires_gcc
+def test_flat_prio_fault_is_caught_by_the_prio_profile(tmp_path):
+    """ISSUE acceptance: the §4.1 flat-priority miscompilation was a
+    blind spot of the plain profiles; the schedule-diverse `prio`
+    profile must expose it within a handful of seeds."""
+    caught = 0
+    for seed in range(6):
+        case = generate_case(seed, PRIO, "prio")
+        _v, failures = check_case(case, workdir=tmp_path,
+                                  mutate=FAULTS["flat-prio"])
+        if any(f.oracle == "vm-vs-c" for f in failures):
+            caught += 1
+    assert caught, "flat-prio fault survived 6 prio seeds"
+    # …and without the fault the same seeds are conflict-free
+    for seed in range(6):
+        case = generate_case(seed, PRIO, "prio")
+        _v, failures = check_case(case, workdir=tmp_path)
+        assert not failures, failures[0].summary()
+
+
+def test_static_bounds_oracle_flags_an_unsound_bound():
+    """Feed the comparison a deliberately understated bound."""
+    from repro.analysis import ResourceBounds
+    from repro.fuzz.oracles import bounds_violations
+
+    case = generate_case(0)
+    vm = run_vm(case.src, case.script, observe=True)
+    assert vm.ok
+    fake = ResourceBounds(
+        max_trails=0, max_armed_timers=0, max_async_jobs=0,
+        max_internal_emits=0, mem_slots=0, mem_bytes_host=0,
+        mem_bytes_target16=0, dfa_states=0, dfa_transitions=0)
+    violations = bounds_violations(fake, vm.stats)
+    assert "max_trails" in violations and "mem_slots" in violations
+    assert violations["mem_slots"]["observed"] > 0
+
+
+def test_schedule_oracle_reverse_seeds_changes_no_observable():
+    """Accepted programs must agree under the reversed seeding order
+    (the oracle inside check_case); spot-check the mechanism directly."""
+    for seed in range(5):
+        case = generate_case(seed)
+        if analyses_verdict(case.src) != "accept":
+            continue
+        fwd = run_vm(case.src, case.script)
+        rev = run_vm(case.src, case.script, reverse_seeds=True)
+        assert fwd.ok and rev.ok
+        assert (fwd.done, fwd.result, fwd.output) == \
+               (rev.done, rev.result, rev.output)
+        assert canon_psig(fwd.psig) == canon_psig(rev.psig)
+        assert fwd.memory == rev.memory
 
 
 # ---------------------------------------------------------------------------
