@@ -1,0 +1,267 @@
+"""Benchmark snapshots and the perf regression gate (``repro bench``).
+
+One command measures the repo's performance-sensitive surfaces and
+writes a machine-readable snapshot:
+
+* **VM reaction throughput** over the standard fan-out workload, in four
+  instrumentation configurations — ``off`` (no subscribers ever),
+  ``detached`` (subscribed then unsubscribed: the hooks-off fast path
+  after a profiling session ends), ``metrics``, and ``full`` (metrics +
+  both exporters);
+* **reaction-latency percentiles** (p50/p95/p99 µs) from the profiler;
+* **deterministic counters** (reactions, steps, emits …) from the
+  metrics run — machine-independent, gated *exactly*;
+* **DES + streaming-exporter throughput** with the exporter's resident
+  high-water mark.
+
+Snapshots are written as timestamped ``BENCH_<UTCSTAMP>.json`` files so
+a perf trajectory accumulates across commits.  ``--check`` compares a
+fresh snapshot against the committed baseline
+(``benchmarks/BENCH_baseline.json``): deterministic counters must match
+exactly; instrumentation-overhead *ratios* (metrics/off, full/off,
+detached/off) must stay within ``--tolerance`` of the baseline ratios.
+Absolute wall-clock times are recorded for the trajectory but never
+gated — they measure the CI machine, not the code.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Optional
+
+from .obs import (ChromeTraceExporter, JsonlExporter, Profiler,
+                  StreamingJsonlExporter)
+from .obs.hooks import HookBus
+from .runtime import Program
+from .sim.des import Simulator
+
+SCHEMA = 1
+
+#: the committed regression baseline (see ``--update-baseline``)
+BASELINE_PATH = Path(__file__).resolve().parents[2] \
+    / "benchmarks" / "BENCH_baseline.json"
+
+#: overhead ratios gated against the baseline
+RATIO_KEYS = ("metrics_vs_off", "full_vs_off", "detached_vs_off")
+
+TRAILS = 16
+EVENTS = 300
+DES_EVENTS = 20_000
+
+
+def make_fanout(n: int) -> str:
+    """The standard reaction-throughput workload: ``n`` parallel trails
+    all waking on one broadcast event (same shape as
+    ``benchmarks/test_vm_throughput.py``)."""
+    decls = "\n".join(f"int n{i} = 0;" for i in range(n))
+    branches = "\nwith\n".join(
+        f"   loop do\n      await A;\n      n{i} = n{i} + 1;\n   end"
+        for i in range(n))
+    return f"input void A;\n{decls}\npar do\n{branches}\nend"
+
+
+def _drive(program: Program, events: Optional[int] = None) -> float:
+    if events is None:
+        events = EVENTS          # late-bound so tests can shrink it
+    start = time.perf_counter()
+    program.start()
+    for _ in range(events):
+        program.send("A")
+    return time.perf_counter() - start
+
+
+def _time_mode(mode: str, repeats: int) -> tuple[float, Optional[dict]]:
+    """Best-of-``repeats`` seconds for one instrumentation mode; the
+    metrics mode also returns its (deterministic) stats snapshot."""
+    best = float("inf")
+    stats = None
+    for _ in range(repeats):
+        program = Program(make_fanout(TRAILS),
+                          observe=mode in ("metrics", "full"))
+        if mode == "full":
+            program.observe(ChromeTraceExporter())
+            program.observe(JsonlExporter())
+        elif mode == "detached":
+            # subscribe + unsubscribe: the bus must drop back to the
+            # guarded no-op fast path once the last subscriber leaves
+            probe = program.observe(Profiler())
+            program.hooks.unsubscribe(probe)
+        best = min(best, _drive(program))
+        if mode == "metrics" and stats is None:
+            stats = program.stats()
+    return best, stats
+
+
+def bench_vm(repeats: int = 3) -> dict:
+    """Reaction throughput in all four instrumentation modes, plus the
+    deterministic counters and the profiler's latency percentiles."""
+    timings = {}
+    counters = {}
+    for mode in ("off", "detached", "metrics", "full"):
+        secs, stats = _time_mode(mode, repeats)
+        timings[mode] = secs
+        if stats is not None:
+            counters = stats["counters"]
+    program = Program(make_fanout(TRAILS))
+    profiler = program.observe(Profiler())
+    _drive(program)
+    latency = {family: h.percentiles()
+               for family, h in sorted(profiler.latency.items())}
+    off = timings["off"]
+    return {
+        "workload": {"trails": TRAILS, "events": EVENTS},
+        "timings_s": timings,
+        "ratios": {
+            "metrics_vs_off": timings["metrics"] / off,
+            "full_vs_off": timings["full"] / off,
+            "detached_vs_off": timings["detached"] / off,
+        },
+        "reactions_per_s": (EVENTS + 1) / off,
+        "counters": counters,
+        "latency_us": latency,
+    }
+
+
+def bench_stream(tmpdir: Path, n_events: Optional[int] = None) -> dict:
+    """DES calendar churn with the streaming exporter attached: export
+    throughput and the exporter's bounded-memory high-water mark."""
+    if n_events is None:
+        n_events = DES_EVENTS    # late-bound so tests can shrink it
+    path = Path(tmpdir) / "stream.jsonl"
+    bus = HookBus()
+    sim = Simulator(hooks=bus)
+    with StreamingJsonlExporter(path, flush_every=512) as exporter:
+        bus.subscribe(exporter)
+
+        def tick(i: int = 0):
+            if i < n_events:
+                sim.after(10, lambda: tick(i + 1))
+
+        start = time.perf_counter()
+        tick()
+        sim.run()
+        elapsed = time.perf_counter() - start
+        resident_high = exporter.resident_high
+    return {
+        "des_events": sim.events_fired,
+        "records": exporter.seq,
+        "elapsed_s": elapsed,
+        "records_per_s": exporter.seq / elapsed if elapsed else 0.0,
+        "resident_high": resident_high,
+        "flush_every": exporter.flush_every,
+    }
+
+
+def snapshot(repeats: int = 3) -> dict:
+    """The full ``repro bench`` measurement (pure data, JSON-ready)."""
+    import tempfile
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
+        stream = bench_stream(Path(tmp))
+    return {
+        "schema": SCHEMA,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "vm": bench_vm(repeats),
+        "stream": stream,
+    }
+
+
+def stamp() -> str:
+    return datetime.now(timezone.utc).strftime("%Y%m%dT%H%M%SZ")
+
+
+def write_snapshot(snap: dict, out_dir: Path) -> Path:
+    out = Path(out_dir) / f"BENCH_{stamp()}.json"
+    out.write_text(json.dumps(snap, indent=2, sort_keys=True) + "\n")
+    return out
+
+
+def check_regression(snap: dict, baseline: dict,
+                     tolerance: float = 0.5) -> list[str]:
+    """Compare a snapshot against the committed baseline.
+
+    Returns a list of human-readable violations (empty = gate passes):
+
+    * every deterministic counter must match the baseline exactly — the
+      same workload must do the same work, on any machine;
+    * each instrumentation-overhead ratio must stay within
+      ``tolerance`` (relative) of the baseline ratio, and the detached
+      ratio additionally below an absolute cap — a detached bus must
+      stay indistinguishable from one that never had subscribers.
+    """
+    problems: list[str] = []
+    base_counters = baseline.get("vm", {}).get("counters", {})
+    counters = snap.get("vm", {}).get("counters", {})
+    for key, expect in sorted(base_counters.items()):
+        got = counters.get(key)
+        if got != expect:
+            problems.append(f"counter {key}: expected {expect}, got {got}")
+    base_ratios = baseline.get("vm", {}).get("ratios", {})
+    ratios = snap.get("vm", {}).get("ratios", {})
+    for key in RATIO_KEYS:
+        expect = base_ratios.get(key)
+        got = ratios.get(key)
+        if expect is None or got is None:
+            problems.append(f"ratio {key}: missing "
+                            f"(baseline={expect}, snapshot={got})")
+            continue
+        if got > expect * (1.0 + tolerance):
+            problems.append(f"ratio {key}: {got:.2f} exceeds baseline "
+                            f"{expect:.2f} by more than {tolerance:.0%}")
+    got = ratios.get("detached_vs_off")
+    if got is not None and got > 1.5:
+        problems.append(f"ratio detached_vs_off: {got:.2f} > 1.5 — the "
+                        f"unsubscribed bus is no longer a no-op")
+    base_resident = baseline.get("stream", {}).get("resident_high")
+    resident = snap.get("stream", {}).get("resident_high")
+    flush = snap.get("stream", {}).get("flush_every")
+    if (base_resident is not None and resident is not None
+            and flush and resident > flush):
+        problems.append(f"stream resident_high {resident} exceeds "
+                        f"flush_every {flush}: streaming is buffering")
+    return problems
+
+
+def main(args) -> int:
+    """``repro bench`` entry point (wired up in :mod:`repro.cli`)."""
+    import sys
+
+    snap = snapshot(repeats=args.repeats)
+    out = write_snapshot(snap, Path(args.out))
+    vm = snap["vm"]
+    print(f"wrote {out}")
+    print(f"vm: {vm['reactions_per_s']:.0f} reactions/s off; ratios "
+          + ", ".join(f"{k}={vm['ratios'][k]:.2f}" for k in RATIO_KEYS))
+    print(f"stream: {snap['stream']['records_per_s']:.0f} records/s, "
+          f"resident high {snap['stream']['resident_high']}")
+    baseline_path = Path(args.baseline) if args.baseline \
+        else BASELINE_PATH
+    if args.update_baseline:
+        baseline_path.write_text(
+            json.dumps(snap, indent=2, sort_keys=True) + "\n")
+        print(f"updated baseline {baseline_path}")
+        return 0
+    if args.check:
+        if not baseline_path.exists():
+            print(f"no baseline at {baseline_path} — run with "
+                  f"--update-baseline first", file=sys.stderr)
+            return 1
+        baseline = json.loads(baseline_path.read_text())
+        problems = check_regression(snap, baseline,
+                                    tolerance=args.tolerance)
+        if problems:
+            for problem in problems:
+                print(f"REGRESSION {problem}", file=sys.stderr)
+            return 1
+        print(f"regression gate passed (baseline {baseline_path.name}, "
+              f"tolerance {args.tolerance:.0%})")
+    return 0
+
+
+__all__ = ["SCHEMA", "bench_vm", "bench_stream", "snapshot",
+           "write_snapshot", "check_regression", "make_fanout"]

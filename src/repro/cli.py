@@ -27,7 +27,11 @@ reproduction's analysis artifacts:
 ``fuzz``    conformance fuzzing: generate seeded programs and cross-check
             the VM, the C backend, replay determinism, schedule
             independence, and the static bounds against each other
-            (docs/FUZZING.md); ``--shrink`` minimises failures
+            (docs/FUZZING.md); ``--shrink`` minimises failures,
+            ``--guided`` turns on coverage-guided seed scheduling
+``bench``   benchmark snapshot (throughput, overhead ratios, latency
+            percentiles) as ``BENCH_<stamp>.json``; ``--check`` gates
+            against the committed baseline
 =========   =============================================================
 """
 
@@ -180,19 +184,36 @@ def cmd_run(args) -> int:
 
 
 def cmd_profile(args) -> int:
+    from .obs import Profiler, StreamingJsonlExporter
+
     source = _load(args.file)
     program = Program(source, filename=args.file, observe=True)
-    chrome = None
+    chrome = stream = profiler = None
     if args.trace_json:
         chrome = program.observe(ChromeTraceExporter())
+    if args.stream:
+        stream = program.observe(
+            StreamingJsonlExporter(args.stream, flush_every=1024))
+    if args.hot is not None or args.flamegraph:
+        profiler = program.observe(Profiler(source=source))
     program.start()
     _feed_inputs(program, args.inputs)
     stats = program.stats()
     print(render_stats(stats))
+    if profiler is not None and args.hot is not None:
+        print(profiler.report(k=args.hot))
     if chrome is not None:
         chrome.write(args.trace_json)
         print(f"wrote {args.trace_json}: {len(chrome.events)} trace "
               f"events (load at https://ui.perfetto.dev)", file=sys.stderr)
+    if stream is not None:
+        stream.close()
+        print(f"wrote {args.stream}: {stream.seq} events streamed "
+              f"(resident high {stream.resident_high})", file=sys.stderr)
+    if profiler is not None and args.flamegraph:
+        n = profiler.write_collapsed(args.flamegraph)
+        print(f"wrote {args.flamegraph}: {n} collapsed stacks "
+              f"(flamegraph.pl / speedscope format)", file=sys.stderr)
     if args.json:
         Path(args.json).write_text(json.dumps(stats, indent=2,
                                               default=repr) + "\n")
@@ -265,11 +286,20 @@ def cmd_fuzz(args) -> int:
     if use_c and not has_gcc():
         print("gcc not found: VM-vs-C oracle disabled "
               "(replay and analysis oracles still run)", file=sys.stderr)
+    target = _load(args.target) if args.target else None
     runner = FuzzRunner(seed=args.seed, config=config, use_c=use_c,
                         fault=args.inject_fault, do_shrink=args.shrink,
-                        report=args.report, profile=args.profile)
+                        report=args.report, profile=args.profile,
+                        guided=args.guided, target=target,
+                        corpus_max=args.corpus_max)
     stats = runner.run(n=args.n, minutes=args.minutes)
     return 0 if stats.ok() else 1
+
+
+def cmd_bench(args) -> int:
+    from .bench import main as bench_main
+
+    return bench_main(args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -330,6 +360,18 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the raw metrics snapshot as JSON")
     p.add_argument("--trace-json", metavar="FILE",
                    help="also export a Chrome/Perfetto trace-event file")
+    p.add_argument("--hot", type=int, nargs="?", const=10, default=None,
+                   metavar="K",
+                   help="print the hot-path report: per-trigger latency "
+                        "percentiles plus the top-K lines and trails "
+                        "(default K=10)")
+    p.add_argument("--flamegraph", metavar="FILE",
+                   help="write collapsed stacks (trigger;trail;kind:line "
+                        "count) for flamegraph.pl / speedscope")
+    p.add_argument("--stream", metavar="FILE",
+                   help="stream every hook event to FILE as JSONL with "
+                        "bounded memory (vs `run --trace-jsonl`, which "
+                        "buffers)")
     p.set_defaults(fn=cmd_profile)
 
     p = sub.add_parser("c", help="emit the C translation")
@@ -376,7 +418,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--inject-fault", default=None,
                    choices=["minus-to-plus", "drop-emit", "flat-prio"],
                    help="mutate the generated C to validate the oracles")
+    p.add_argument("--guided", action="store_true",
+                   help="coverage-guided seed scheduling: cases that "
+                        "light new statement/edge coverage enter a "
+                        "corpus and are mutated preferentially")
+    p.add_argument("--target", metavar="FILE",
+                   help="fuzz scripts against this fixed program instead "
+                        "of generating programs")
+    p.add_argument("--corpus-max", type=int, default=64,
+                   help="guided-mode corpus bound (default 64)")
     p.set_defaults(fn=cmd_fuzz)
+
+    p = sub.add_parser("bench",
+                       help="benchmark snapshot + perf regression gate")
+    p.add_argument("--out", default=".", metavar="DIR",
+                   help="directory for the timestamped BENCH_*.json "
+                        "(default: current directory)")
+    p.add_argument("--repeats", type=int, default=3,
+                   help="best-of-N timing repeats (default 3)")
+    p.add_argument("--check", action="store_true",
+                   help="gate against the committed baseline: exact "
+                        "counters, toleranced overhead ratios")
+    p.add_argument("--baseline", metavar="FILE", default=None,
+                   help="baseline snapshot (default: "
+                        "benchmarks/BENCH_baseline.json)")
+    p.add_argument("--tolerance", type=float, default=0.5,
+                   help="relative slack for overhead ratios (default 0.5)")
+    p.add_argument("--update-baseline", action="store_true",
+                   help="write this snapshot as the new baseline")
+    p.set_defaults(fn=cmd_bench)
     return parser
 
 

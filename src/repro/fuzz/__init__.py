@@ -15,15 +15,17 @@ reach.  Entry points:
 from .gen import (CORPUS_PROFILES, DIFF, PRIO, PROFILES, GenCase,
                   GenConfig, ProgramGen, generate_case, parse_script_text,
                   relay_program, script_text)
+from .mutate import INTERESTING, ScriptMutator
 from .oracles import (FAULTS, OracleFailure, RunResult, bounds_violations,
                       canon_psig, check_case, has_gcc, run_c, run_vm)
-from .runner import FuzzRunner
+from .runner import FuzzRunner, FuzzStats
 from .shrink import ShrinkResult, shrink
 
 __all__ = [
-    "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "GenCase",
-    "GenConfig", "OracleFailure", "PRIO", "PROFILES", "ProgramGen",
-    "RunResult", "ShrinkResult", "bounds_violations", "canon_psig",
-    "check_case", "generate_case", "has_gcc", "parse_script_text",
-    "relay_program", "run_c", "run_vm", "script_text", "shrink",
+    "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "FuzzStats",
+    "GenCase", "GenConfig", "INTERESTING", "OracleFailure", "PRIO",
+    "PROFILES", "ProgramGen", "RunResult", "ScriptMutator",
+    "ShrinkResult", "bounds_violations", "canon_psig", "check_case",
+    "generate_case", "has_gcc", "parse_script_text", "relay_program",
+    "run_c", "run_vm", "script_text", "shrink",
 ]

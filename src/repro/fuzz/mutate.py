@@ -1,0 +1,130 @@
+"""Script mutation for coverage-guided fuzzing.
+
+The generator (:mod:`repro.fuzz.gen`) owns the *program* half of a fuzz
+case; this module owns the *input* half.  A script is a list of
+``("E", name, value)`` stimuli and ``("T", abs_us)`` time advances — a
+flat, order-sensitive sequence, which is exactly the shape AFL-style
+havoc mutation was made for.  :class:`ScriptMutator` applies a handful
+of structural operators (value tweaks, event swaps, duplication, drops,
+reorders, time jitter, splicing with a donor from the corpus, tail
+extension) and then *normalises* the result so it stays a legal input:
+
+* ``T`` times are clamped to be nondecreasing — the VM (correctly)
+  refuses to run time backwards, and a crash-on-illegal-input would
+  otherwise drown the oracles in false "vm-crash" verdicts;
+* length is capped (``max_len``) so runaway duplication cannot make
+  campaigns quadratic;
+* a mutated script is never empty.
+
+All randomness comes from the ``random.Random`` handed in, so campaigns
+stay reproducible from their seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from .gen import EXT_EVENTS, ROUND_US
+
+#: boundary values that historically shake out comparison and modulo
+#: bugs (AFL's "interesting" constants, trimmed to the C-safe range the
+#: generator's arithmetic guarantees)
+INTERESTING = (0, 1, 2, 7, 13, 42, 99, 127, 199, 255)
+
+
+def _times_nondecreasing(script: list[tuple]) -> list[tuple]:
+    """Clamp ``T`` entries so absolute time never goes backwards."""
+    out: list[tuple] = []
+    clock = 0
+    for item in script:
+        if item[0] == "T":
+            clock = max(clock, int(item[1]))
+            out.append(("T", clock))
+        else:
+            out.append(item)
+    return out
+
+
+class ScriptMutator:
+    """Seeded havoc mutator over event scripts (see module docstring)."""
+
+    def __init__(self, rng: random.Random,
+                 events: Sequence[str] = EXT_EVENTS,
+                 round_us: int = ROUND_US, max_len: int = 400):
+        self.rng = rng
+        self.events = tuple(events)
+        self.round_us = round_us
+        self.max_len = max_len
+
+    # ----------------------------------------------------------- creation
+    def random_script(self, rounds: int = 8) -> list[tuple]:
+        """A fresh random script: per round, a random burst of events
+        then a time advance.  This is the *unguided* input distribution
+        — both the random and the guided scheduler draw fresh inputs
+        from here, so coverage comparisons are apples-to-apples."""
+        script: list[tuple] = []
+        clock = 0
+        for _ in range(rounds):
+            for _ in range(self.rng.randrange(1, 4)):
+                script.append(("E", self.rng.choice(self.events),
+                               self._value()))
+            clock += self.rng.randrange(1, 3) * self.round_us
+            script.append(("T", clock))
+        return script
+
+    def _value(self) -> int:
+        if self.rng.random() < 0.5:
+            return self.rng.choice(INTERESTING)
+        return self.rng.randrange(0, 200)
+
+    # ----------------------------------------------------------- mutation
+    def mutate(self, script: Sequence[tuple],
+               donor: Optional[Sequence[tuple]] = None) -> list[tuple]:
+        """1–4 havoc operators applied to a copy of ``script``; the
+        result is always normalised (legal, bounded, nonempty)."""
+        out = list(script) or [("T", self.round_us)]
+        for _ in range(self.rng.randrange(1, 5)):
+            op = self.rng.randrange(8 if donor else 7)
+            i = self.rng.randrange(len(out))
+            if op == 0:        # tweak a value / nudge a time
+                item = out[i]
+                if item[0] == "E":
+                    out[i] = ("E", item[1], self._value())
+                else:
+                    delta = self.rng.choice([-1, 1]) \
+                        * self.rng.randrange(1, 3) * self.round_us
+                    out[i] = ("T", max(0, item[1] + delta))
+            elif op == 1:      # retarget an event
+                item = out[i]
+                if item[0] == "E":
+                    out[i] = ("E", self.rng.choice(self.events), item[2])
+            elif op == 2:      # duplicate an entry in place
+                out.insert(i, out[i])
+            elif op == 3:      # drop an entry
+                if len(out) > 1:
+                    del out[i]
+            elif op == 4:      # swap adjacent entries (reorder stimuli)
+                if i + 1 < len(out):
+                    out[i], out[i + 1] = out[i + 1], out[i]
+            elif op == 5:      # inject a fresh stimulus
+                out.insert(i, ("E", self.rng.choice(self.events),
+                               self._value()))
+            elif op == 6:      # append a tail round (push the run longer)
+                clock = max([it[1] for it in out if it[0] == "T"],
+                            default=0)
+                out.append(("E", self.rng.choice(self.events),
+                            self._value()))
+                out.append(("T", clock + self.round_us))
+            elif op == 7 and donor:   # splice: our head + donor's tail
+                cut = self.rng.randrange(1, len(out) + 1)
+                dcut = self.rng.randrange(len(donor))
+                out = out[:cut] + list(donor)[dcut:]
+        return self.normalize(out)
+
+    def normalize(self, script: list[tuple]) -> list[tuple]:
+        out = _times_nondecreasing(script[:self.max_len])
+        return out or [("T", self.round_us)]
+
+
+__all__ = ["INTERESTING", "ScriptMutator"]

@@ -5,18 +5,41 @@ Generates seeded cases, stacks the oracles of
 a minimal reproducer, and reports through the observability JSONL
 exporter (one record per case/failure plus a summary — the same
 format as ``repro run --trace-jsonl``, see docs/OBSERVABILITY.md).
+
+Two seed-scheduling modes:
+
+* **random** (default) — every case is a fresh draw: a generated
+  (program, script) pair, or in *target* mode a fresh random script
+  against a fixed program.
+* **coverage-guided** (``guided=True``) — every case is additionally run
+  under the hook-bus coverage subscribers
+  (:class:`repro.obs.CoverageMap`, and :class:`repro.obs.DfaEdgeCoverage`
+  in target mode).  Cases that light coverage bits nobody has lit before
+  enter a bounded corpus; subsequent cases are drawn preferentially by
+  mutating corpus scripts (:class:`repro.fuzz.mutate.ScriptMutator`),
+  energy-weighted toward entries that found a lot and have been
+  exploited little — the AFL loop, over event scripts.  Every coverage
+  gain is recorded as a ``fuzz_cov`` JSONL record, so a campaign report
+  carries its own coverage-growth curve.
 """
 
 from __future__ import annotations
 
+import random
 import sys
 import tempfile
 import time
+import zlib
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
-from ..obs import JsonlExporter
+from ..dfa import build_dfa
+from ..lang import parse
+from ..obs import JsonlExporter, collect_coverage
+from ..runtime import Program
+from ..sema import bind
 from .gen import DIFF, GenCase, GenConfig, generate_case, script_text
+from .mutate import ScriptMutator
 from .oracles import FAULTS, OracleFailure, check_case, has_gcc, run_c, \
     run_vm
 from .shrink import ShrinkResult, shrink
@@ -29,6 +52,9 @@ class FuzzStats:
     refused: int = 0
     giveup: int = 0
     c_diffed: int = 0
+    mutated: int = 0              # cases drawn by corpus mutation
+    coverage_total: int = 0       # unique coverage ids lit so far
+    corpus_size: int = 0
     failures: list[OracleFailure] = field(default_factory=list)
     shrunk: list[ShrinkResult] = field(default_factory=list)
 
@@ -36,13 +62,33 @@ class FuzzStats:
         return not self.failures
 
 
+@dataclass
+class _CorpusEntry:
+    case: GenCase
+    new: int        # coverage ids this entry lit first
+    hits: int = 0   # times it has been picked for mutation
+
+    @property
+    def energy(self) -> float:
+        return self.new / (1.0 + self.hits)
+
+
 class FuzzRunner:
-    """One fuzz campaign: ``FuzzRunner(seed=0).run(n=200)``."""
+    """One fuzz campaign: ``FuzzRunner(seed=0).run(n=200)``.
+
+    ``target`` fixes the program under test to the given source text
+    (scripts become the input space); ``guided`` turns on coverage-guided
+    seed scheduling (see module docstring).  Coverage is measured
+    whenever either is set, so guided and random campaigns over the same
+    target are directly comparable via ``stats.coverage_total``.
+    """
 
     def __init__(self, seed: int = 0, config: GenConfig = DIFF,
                  use_c: bool = True, fault: Optional[str] = None,
                  do_shrink: bool = False, report: Optional[str] = None,
                  profile: str = "diff",
+                 guided: bool = False, target: Optional[str] = None,
+                 corpus_max: int = 64, mutate_ratio: float = 0.75,
                  log: Callable[[str], None] = lambda msg: print(
                      msg, file=sys.stderr)):
         self.seed = seed
@@ -55,6 +101,25 @@ class FuzzRunner:
         self.log = log
         self.stats = FuzzStats()
         self.exporter = JsonlExporter()
+        # --- coverage-guided scheduling state ---
+        self.guided = guided
+        self.target = target
+        self.corpus_max = corpus_max
+        self.mutate_ratio = mutate_ratio
+        self.rng = random.Random((seed << 1) ^ 0x5EED)
+        self.mutator = ScriptMutator(self.rng)
+        self.coverage: set[int] = set()
+        self.corpus: list[_CorpusEntry] = []
+        self.target_dfa = None
+        if target is not None:
+            bound = bind(parse(target))
+            events = tuple(e.name for e in bound.input_events()) \
+                or self.mutator.events
+            self.mutator = ScriptMutator(self.rng, events=events)
+            try:
+                self.target_dfa = build_dfa(bound)
+            except Exception:
+                self.target_dfa = None   # stmt/edge coverage still works
 
     # ------------------------------------------------------------- records
     def _record(self, ev: str, **fields) -> None:
@@ -75,6 +140,11 @@ class FuzzRunner:
         if not self.use_c:
             self._record("fuzz_config", note="C oracle disabled "
                          "(gcc unavailable or --no-c)")
+        if self.guided or self.target is not None:
+            self._record("fuzz_config", guided=self.guided,
+                         target=self.target is not None,
+                         dfa_edges=(len(self.target_dfa.edges)
+                                    if self.target_dfa else 0))
         with tempfile.TemporaryDirectory(prefix="repro-fuzz-") as tmp:
             seed = self.seed
             while True:
@@ -82,8 +152,7 @@ class FuzzRunner:
                     break
                 if deadline is not None and time.monotonic() >= deadline:
                     break
-                self._one_case(generate_case(seed, self.config,
-                                             self.profile), tmp)
+                self._one_case(self._next_case(seed), tmp)
                 seed += 1
         self._record("fuzz_summary", cases=self.stats.cases,
                      accepted=self.stats.accepted,
@@ -91,7 +160,11 @@ class FuzzRunner:
                      giveup=self.stats.giveup,
                      c_diffed=self.stats.c_diffed,
                      failures=len(self.stats.failures),
-                     gcc=self.use_c)
+                     gcc=self.use_c,
+                     guided=self.guided,
+                     mutated=self.stats.mutated,
+                     coverage=self.stats.coverage_total,
+                     corpus=self.stats.corpus_size)
         if self.report_path:
             self.exporter.write(self.report_path)
             self.log(f"wrote {self.report_path}: "
@@ -99,6 +172,62 @@ class FuzzRunner:
         self.log(self.summary())
         return self.stats
 
+    # ------------------------------------------------------ seed scheduling
+    def _next_case(self, seed: int) -> GenCase:
+        """The seed scheduler: corpus mutation when guided (and the dice
+        say exploit), a fresh draw otherwise."""
+        if (self.guided and self.corpus
+                and self.rng.random() < self.mutate_ratio):
+            entry = self._pick_corpus()
+            entry.hits += 1
+            donor = self.rng.choice(self.corpus).case.script \
+                if len(self.corpus) > 1 else None
+            script = self.mutator.mutate(entry.case.script, donor=donor)
+            self.stats.mutated += 1
+            return GenCase(seed=seed, src=entry.case.src, script=script,
+                           profile="mutant")
+        if self.target is not None:
+            script = self.mutator.random_script(
+                rounds=self.rng.randrange(4, 12))
+            return GenCase(seed=seed, src=self.target, script=script,
+                           profile="target")
+        return generate_case(seed, self.config, self.profile)
+
+    def _pick_corpus(self) -> _CorpusEntry:
+        """Energy-weighted corpus pick: prefer entries that found much
+        new coverage and have been mutated little."""
+        weights = [entry.energy + 0.01 for entry in self.corpus]
+        return self.rng.choices(self.corpus, weights=weights)[0]
+
+    def _coverage_of(self, case: GenCase) -> Optional[set[int]]:
+        """One extra instrumented VM run; feature ids are namespaced per
+        program so generated-program campaigns don't conflate line 7 of
+        two different programs."""
+        context = "" if self.target is not None \
+            else str(zlib.crc32(case.src.encode()))
+        return collect_coverage(Program, case.src, case.script,
+                                dfa=self.target_dfa, context=context)
+
+    def _observe_coverage(self, case: GenCase) -> None:
+        ids = self._coverage_of(case)
+        if ids is None:
+            return
+        new = ids - self.coverage
+        if not new:
+            return
+        self.coverage |= new
+        self.stats.coverage_total = len(self.coverage)
+        self._record("fuzz_cov", case=self.stats.cases,
+                     new=len(new), total=len(self.coverage),
+                     corpus=len(self.corpus))
+        if self.guided:
+            self.corpus.append(_CorpusEntry(case=case, new=len(new)))
+            if len(self.corpus) > self.corpus_max:
+                self.corpus.remove(
+                    min(self.corpus, key=lambda entry: entry.energy))
+            self.stats.corpus_size = len(self.corpus)
+
+    # --------------------------------------------------------------- cases
     def _one_case(self, case: GenCase, tmp: str) -> None:
         self.stats.cases += 1
         verdict, failures = check_case(case, workdir=tmp,
@@ -112,6 +241,8 @@ class FuzzRunner:
             self.stats.refused += 1
         elif verdict == "giveup":
             self.stats.giveup += 1
+        if self.guided or self.target is not None:
+            self._observe_coverage(case)
         self._record("fuzz_case", seed=case.seed, verdict=verdict,
                      src_lines=case.src_lines(),
                      script_len=len(case.script),
@@ -162,6 +293,9 @@ class FuzzRunner:
                 f"{s.accepted} accepted, {s.refused} refused, "
                 f"{s.giveup} gave up, {s.c_diffed} C-diffed, "
                 f"{len(s.failures)} failure(s)")
+        if self.guided or self.target is not None:
+            line += (f"; coverage {s.coverage_total} ids, "
+                     f"corpus {s.corpus_size}, {s.mutated} mutants")
         return line
 
 

@@ -5,14 +5,21 @@ a guarded no-op and the VM behaves (and performs) exactly as before.
 See ``docs/OBSERVABILITY.md`` for the taxonomy and usage.
 """
 
+from .coverage import (CoverageMap, DfaEdgeCoverage, collect_coverage,
+                       coverage_signature)
 from .export import ChromeTraceExporter, JsonlExporter
 from .hooks import HOOK_EVENTS, EventLog, HookBus, HookSubscriber
 from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
                       MetricsRegistry, render_stats)
+from .profile import Profiler
+from .stream import FlightRecorder, StreamingJsonlExporter
 
 __all__ = [
     "HOOK_EVENTS", "HookBus", "HookSubscriber", "EventLog",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MetricsCollector", "render_stats",
     "ChromeTraceExporter", "JsonlExporter",
+    "StreamingJsonlExporter", "FlightRecorder", "Profiler",
+    "CoverageMap", "DfaEdgeCoverage", "collect_coverage",
+    "coverage_signature",
 ]

@@ -54,10 +54,15 @@ class ChromeTraceExporter(HookSubscriber):
         return tid
 
     def _tick(self, time_us: int) -> float:
-        """Monotone event timestamp in µs."""
+        """Monotone event timestamp in µs.
+
+        The ``max`` keeps the timeline monotone even when a long run of
+        zero-duration reactions has accumulated more than 1 µs of 1 ns
+        nudges and the VM clock then advances by less than that.
+        """
         if time_us > self._clock:
             self._clock = time_us
-            self._ts = float(time_us)
+            self._ts = max(float(time_us), self._ts + 0.001)
         else:
             self._ts += 0.001
         return self._ts
@@ -150,15 +155,37 @@ class ChromeTraceExporter(HookSubscriber):
             json.dump(self.to_json(), fh)
 
 
+def jsonl_record(event: str, fields: tuple[str, ...], args: tuple,
+                 seq: int) -> dict:
+    """The canonical JSONL record for one hook event.  Both the buffered
+    :class:`JsonlExporter` and the streaming exporter
+    (:mod:`repro.obs.stream`) build records here, so their output is
+    byte-identical line for line."""
+    rec = {"ev": event, "seq": seq}
+    rec.update(zip(fields, args))
+    return rec
+
+
+def jsonl_line(rec: dict) -> str:
+    """Render one record exactly as every JSONL exporter in the repo
+    does (``default=repr`` keeps arbitrary payloads serialisable)."""
+    return json.dumps(rec, default=repr)
+
+
 class JsonlExporter(HookSubscriber):
     """Machine-readable export: one JSON object per hook event, fields
-    named per :data:`~repro.obs.hooks.HOOK_EVENTS`."""
+    named per :data:`~repro.obs.hooks.HOOK_EVENTS`.
+
+    This exporter **buffers every record in memory** — right for tests
+    and bounded runs, wrong for long-running servers; use
+    :class:`repro.obs.stream.StreamingJsonlExporter` (same byte-for-byte
+    output, bounded memory) for those."""
 
     def __init__(self) -> None:
         self.records: list[dict] = []
 
     def lines(self) -> list[str]:
-        return [json.dumps(r, default=repr) for r in self.records]
+        return [jsonl_line(r) for r in self.records]
 
     def write(self, path) -> None:
         with open(path, "w") as fh:
@@ -168,9 +195,8 @@ class JsonlExporter(HookSubscriber):
 
 def _jsonl_recorder(event: str, fields: tuple[str, ...]) -> Callable:
     def record(self, *args) -> None:
-        rec = {"ev": event, "seq": len(self.records)}
-        rec.update(zip(fields, args))
-        self.records.append(rec)
+        self.records.append(jsonl_record(event, fields, args,
+                                         len(self.records)))
 
     record.__name__ = f"on_{event}"
     return record

@@ -21,7 +21,8 @@ apart.
 
 from __future__ import annotations
 
-from typing import Callable
+from collections import deque
+from typing import Callable, Optional
 
 #: The full hook taxonomy: event name → ordered field names.
 #: ``time_us`` is always the VM wall-clock (integer microseconds);
@@ -117,10 +118,24 @@ for _name in HOOK_EVENTS:
 
 class EventLog(HookSubscriber):
     """Records every event as ``(name, {field: value})`` — the simplest
-    subscriber, used by tests and the JSONL exporter's foundation."""
+    subscriber, used by tests and the JSONL exporter's foundation.
 
-    def __init__(self) -> None:
-        self.events: list[tuple[str, dict]] = []
+    By default (``maxlen=None``) the log is **unbounded** — fine for
+    tests and short runs, unsuitable for long-running servers.  Pass
+    ``maxlen=N`` to keep only the last N events in a ring buffer;
+    ``seen`` always counts every event ever delivered, so
+    ``log.dropped`` reports how many fell off the ring.
+    """
+
+    def __init__(self, maxlen: Optional[int] = None) -> None:
+        self.maxlen = maxlen
+        self.events: "deque[tuple[str, dict]] | list[tuple[str, dict]]" = (
+            deque(maxlen=maxlen) if maxlen is not None else [])
+        self.seen = 0
+
+    @property
+    def dropped(self) -> int:
+        return self.seen - len(self.events)
 
     def names(self) -> list[str]:
         return [name for name, _ in self.events]
@@ -132,6 +147,7 @@ class EventLog(HookSubscriber):
 
 def _recorder(event: str, fields: tuple[str, ...]) -> Callable:
     def record(self, *args) -> None:
+        self.seen += 1
         self.events.append((event, dict(zip(fields, args))))
 
     record.__name__ = f"on_{event}"

@@ -79,8 +79,33 @@ class Histogram:
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> Optional[float]:
+        """Estimate the ``q``-th percentile (0–100) from the buckets.
+
+        Linear interpolation inside the bucket that holds the target
+        rank, clamped to the exact observed ``min``/``max`` so small
+        sample counts never extrapolate past reality.  ``None`` when
+        empty.
+        """
+        if not self.count:
+            return None
+        target = q / 100.0 * self.count
+        cum = 0
+        lo = 0
+        for bound, c in zip(self.bounds, self.counts):
+            cum += c
+            if cum >= target and c:
+                frac = (target - (cum - c)) / c
+                value = lo + (bound - lo) * frac
+                return float(min(max(value, self.min), self.max))
+            lo = bound
+        return float(self.max)  # target rank lives in the overflow bucket
+
+    def percentiles(self, qs=(50, 95, 99)) -> dict:
+        return {f"p{q:g}": self.percentile(q) for q in qs}
+
     def snapshot(self) -> dict:
-        return {
+        snap = {
             "count": self.count,
             "sum": self.total,
             "min": self.min,
@@ -90,6 +115,8 @@ class Histogram:
                         in zip(self.bounds, self.counts)] +
                        [["inf", self.counts[-1]]],
         }
+        snap.update(self.percentiles())
+        return snap
 
 
 class MetricsRegistry:
@@ -132,6 +159,10 @@ class MetricsRegistry:
 
 #: µs latency buckets: 1µs … ~1s
 LATENCY_BUCKETS = tuple(10 ** i for i in range(7))
+#: finer 1-2-5 µs buckets (profiler latency histograms, where the decade
+#: buckets above are too coarse for percentile interpolation)
+FINE_LATENCY_BUCKETS = tuple(d * 10 ** e
+                             for e in range(7) for d in (1, 2, 5))
 #: small-integer buckets (stack depths, steps per reaction)
 DEPTH_BUCKETS = (1, 2, 4, 8, 16, 32, 64, 128)
 
@@ -264,7 +295,10 @@ def render_stats(stats: dict) -> str:
     if histograms:
         lines.append("histograms")
         for key, h in histograms.items():
-            lines.append(
-                f"  {key:<24} count={h['count']} mean={h['mean']:.2f} "
-                f"min={h['min']} max={h['max']}")
+            line = (f"  {key:<24} count={h['count']} mean={h['mean']:.2f} "
+                    f"min={h['min']} max={h['max']}")
+            if h.get("p50") is not None:
+                line += (f" p50={h['p50']:.0f} p95={h['p95']:.0f} "
+                         f"p99={h['p99']:.0f}")
+            lines.append(line)
     return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""The ``repro bench`` snapshot + regression gate (ISSUE 4 tentpole,
+``repro.bench``)."""
+
+import copy
+import json
+import re
+
+from repro import bench
+from repro.cli import build_parser, main
+
+
+def tiny_snapshot():
+    """A real (but small) measurement — module constants shrunk so the
+    suite stays fast."""
+    return bench.snapshot(repeats=1)
+
+
+class TestSnapshot:
+    def setup_method(self):
+        self._saved = (bench.TRAILS, bench.EVENTS, bench.DES_EVENTS)
+        bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = 4, 40, 500
+
+    def teardown_method(self):
+        bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = self._saved
+
+    def test_snapshot_shape(self):
+        snap = tiny_snapshot()
+        assert snap["schema"] == bench.SCHEMA
+        vm = snap["vm"]
+        assert set(vm["timings_s"]) == \
+            {"off", "detached", "metrics", "full"}
+        assert set(vm["ratios"]) == set(bench.RATIO_KEYS)
+        assert vm["counters"]["reactions_total"] == bench.EVENTS + 1
+        assert vm["counters"]["steps_total"] > 0
+        lat = vm["latency_us"]["event:A"]
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        stream = snap["stream"]
+        assert stream["des_events"] == bench.DES_EVENTS
+        assert stream["records"] >= stream["des_events"]
+        assert stream["resident_high"] <= stream["flush_every"]
+
+    def test_snapshot_counters_are_deterministic(self):
+        a, b = tiny_snapshot(), tiny_snapshot()
+        assert a["vm"]["counters"] == b["vm"]["counters"]
+        assert a["stream"]["records"] == b["stream"]["records"]
+
+    def test_write_snapshot_is_timestamped_json(self, tmp_path):
+        snap = tiny_snapshot()
+        out = bench.write_snapshot(snap, tmp_path)
+        assert re.fullmatch(r"BENCH_\d{8}T\d{6}Z\.json", out.name)
+        assert json.loads(out.read_text())["schema"] == bench.SCHEMA
+
+
+class TestRegressionGate:
+    def base(self):
+        return {
+            "vm": {
+                "counters": {"reactions_total": 41, "steps_total": 500},
+                "ratios": {"metrics_vs_off": 1.5, "full_vs_off": 3.0,
+                           "detached_vs_off": 1.0},
+            },
+            "stream": {"resident_high": 100, "flush_every": 512},
+        }
+
+    def test_identical_snapshot_passes(self):
+        snap = self.base()
+        assert bench.check_regression(snap, self.base()) == []
+
+    def test_counter_drift_is_flagged_exactly(self):
+        snap = self.base()
+        snap["vm"]["counters"]["steps_total"] = 501
+        problems = bench.check_regression(snap, self.base())
+        assert len(problems) == 1 and "steps_total" in problems[0]
+
+    def test_ratio_within_tolerance_passes(self):
+        snap = self.base()
+        snap["vm"]["ratios"]["full_vs_off"] = 3.0 * 1.4
+        assert bench.check_regression(snap, self.base(),
+                                      tolerance=0.5) == []
+
+    def test_ratio_beyond_tolerance_fails(self):
+        snap = self.base()
+        snap["vm"]["ratios"]["full_vs_off"] = 3.0 * 1.6
+        problems = bench.check_regression(snap, self.base(),
+                                          tolerance=0.5)
+        assert any("full_vs_off" in p for p in problems)
+
+    def test_detached_absolute_cap(self):
+        """A detached bus slower than 1.5x off is a broken fast path no
+        matter what the baseline says."""
+        snap = self.base()
+        snap["vm"]["ratios"]["detached_vs_off"] = 1.8
+        baseline = self.base()
+        baseline["vm"]["ratios"]["detached_vs_off"] = 1.7
+        problems = bench.check_regression(snap, baseline, tolerance=0.5)
+        assert any("detached_vs_off" in p for p in problems)
+
+    def test_missing_ratio_is_flagged(self):
+        snap = self.base()
+        del snap["vm"]["ratios"]["metrics_vs_off"]
+        problems = bench.check_regression(snap, self.base())
+        assert any("metrics_vs_off" in p for p in problems)
+
+    def test_streaming_buffering_regression(self):
+        snap = self.base()
+        snap["stream"]["resident_high"] = 600     # > flush_every
+        problems = bench.check_regression(snap, self.base())
+        assert any("resident_high" in p for p in problems)
+
+    def test_faithful_to_real_snapshot_schema(self):
+        """The gate reads the same keys a real snapshot writes."""
+        saved = (bench.TRAILS, bench.EVENTS, bench.DES_EVENTS)
+        bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = 4, 40, 500
+        try:
+            snap = bench.snapshot(repeats=1)
+        finally:
+            bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = saved
+        baseline = copy.deepcopy(snap)
+        assert bench.check_regression(snap, baseline,
+                                      tolerance=10.0) == []
+        baseline["vm"]["counters"]["steps_total"] += 1
+        assert bench.check_regression(snap, baseline, tolerance=10.0)
+
+
+class TestCli:
+    def test_bench_subcommand_parses(self):
+        args = build_parser().parse_args(
+            ["bench", "--check", "--tolerance", "0.4", "--out", "/tmp",
+             "--repeats", "1"])
+        assert args.check and args.tolerance == 0.4
+
+    def test_bench_check_against_fresh_baseline(self, tmp_path):
+        saved = (bench.TRAILS, bench.EVENTS, bench.DES_EVENTS)
+        bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = 4, 40, 500
+        try:
+            baseline = tmp_path / "baseline.json"
+            rc = main(["bench", "--out", str(tmp_path), "--repeats", "1",
+                       "--baseline", str(baseline),
+                       "--update-baseline"])
+            assert rc == 0 and baseline.exists()
+            rc = main(["bench", "--out", str(tmp_path), "--repeats", "1",
+                       "--baseline", str(baseline), "--check",
+                       "--tolerance", "5.0"])
+            assert rc == 0
+        finally:
+            bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = saved
+        assert list(tmp_path.glob("BENCH_*.json"))
+
+    def test_bench_check_without_baseline_errors(self, tmp_path):
+        saved = (bench.TRAILS, bench.EVENTS, bench.DES_EVENTS)
+        bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = 4, 40, 500
+        try:
+            rc = main(["bench", "--out", str(tmp_path), "--repeats", "1",
+                       "--baseline", str(tmp_path / "missing.json"),
+                       "--check"])
+        finally:
+            bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = saved
+        assert rc == 1

@@ -1,0 +1,210 @@
+"""Continuous profiling and coverage maps (ISSUE 4 tentpole,
+``repro.obs.profile`` / ``repro.obs.coverage``)."""
+
+from repro.dfa import build_dfa
+from repro.lang import parse
+from repro.obs import (CoverageMap, DfaEdgeCoverage, Profiler,
+                       collect_coverage, coverage_signature)
+from repro.obs.coverage import feature_id
+from repro.runtime import Program
+from repro.sema import bind
+
+SRC = """
+input int A, B;
+int n = 0;
+par/or do
+   loop do
+      int v = await A;
+      n = n + v;
+   end
+with
+   await B;
+end
+return n;
+"""
+
+
+def profiled(src, *sends):
+    program = Program(src, observe=True)
+    profiler = program.observe(Profiler(source=src))
+    program.start()
+    for name, value in sends:
+        program.send(name, value)
+    return program, profiler
+
+
+# ---------------------------------------------------------------- profiler
+class TestProfiler:
+    def test_step_attribution_adds_up(self):
+        _, prof = profiled(SRC, ("A", 1), ("A", 2), ("B", 0))
+        assert prof.total_steps == sum(prof.line_cost.values())
+        assert prof.total_steps == sum(prof.trail_cost.values())
+        assert prof.total_steps == sum(prof.stacks.values())
+        assert prof.reactions == 4          # boot + 3 events
+
+    def test_hot_lines_rank_the_loop_body(self):
+        _, prof = profiled(SRC, *[("A", i) for i in range(20)])
+        hot = prof.hot_lines(2)
+        # the await and the accumulation dominate a 20-iteration run
+        assert {line for line, _ in hot} == {6, 7}
+        assert hot[0][1] >= hot[1][1]
+
+    def test_hot_trails_and_k_limit(self):
+        _, prof = profiled(SRC, ("A", 1))
+        assert len(prof.hot_trails(1)) == 1
+        all_trails = prof.hot_trails(100)
+        assert sum(c for _, c in all_trails) == prof.total_steps
+
+    def test_per_trigger_latency_histograms(self):
+        _, prof = profiled(SRC, ("A", 1), ("A", 2), ("B", 0))
+        assert set(prof.latency) == {"boot", "event:A", "event:B"}
+        assert prof.latency["event:A"].count == 2
+        p = prof.latency["event:A"].percentiles()
+        assert p["p50"] <= p["p95"] <= p["p99"]
+        assert prof.steps["event:A"].count == 2
+
+    def test_async_triggers_collapse_to_one_family(self):
+        prof = Profiler()
+        for i in range(5):
+            prof.on_reaction_begin(i, f"async:{i}", None, 0)
+            prof.on_reaction_end(i, f"async:{i}", 1, 1000)
+        assert set(prof.latency) == {"async"}
+        assert prof.latency["async"].count == 5
+
+    def test_report_mentions_the_load_bearing_parts(self):
+        _, prof = profiled(SRC, ("A", 1), ("B", 0))
+        report = prof.report(k=3)
+        assert "per-trigger reaction latency" in report
+        assert "hot lines (top 3)" in report
+        assert "hot trails (top 3)" in report
+        # with source attached, hot lines quote the code
+        assert "await A" in report
+
+    def test_collapsed_stack_format(self, tmp_path):
+        _, prof = profiled(SRC, ("A", 1))
+        lines = prof.collapsed()
+        assert lines == sorted(lines)
+        for line in lines:
+            stack, count = line.rsplit(" ", 1)
+            trigger, trail, frame = stack.split(";")
+            kind, lineno = frame.rsplit(":", 1)
+            assert int(count) > 0 and int(lineno) > 0
+            assert trigger in ("boot", "event:A")
+        path = tmp_path / "stacks.txt"
+        assert prof.write_collapsed(path) == len(lines)
+        assert path.read_text().splitlines() == lines
+
+
+# ------------------------------------------------------------ coverage map
+class TestCoverageMap:
+    def run_cov(self, script, context=""):
+        cov = CoverageMap(context=context)
+        program = Program(SRC)
+        program.observe(cov)
+        program.start()
+        for name, value in script:
+            program.send(name, value)
+        return cov
+
+    def test_statements_and_edges_collected(self):
+        cov = self.run_cov([("A", 1)])
+        assert cov.stmts and cov.edges
+        assert cov.ids() == cov.stmts | cov.edges
+        assert len(cov) == len(cov.stmts) + len(cov.edges)
+
+    def test_coverage_is_deterministic(self):
+        a = self.run_cov([("A", 1), ("B", 0)])
+        b = self.run_cov([("A", 1), ("B", 0)])
+        assert a.ids() == b.ids()
+        assert a.signature() == b.signature()
+
+    def test_different_paths_differ(self):
+        shallow = self.run_cov([("B", 0)])
+        deep = self.run_cov([("A", 1), ("B", 0)])
+        assert shallow.ids() != deep.ids()
+        assert shallow.signature() != deep.signature()
+        # the loop-body statements only appear on the deep path
+        assert deep.stmts - shallow.stmts
+
+    def test_merge_accumulates(self):
+        a = self.run_cov([("A", 1)])
+        b = self.run_cov([("B", 0)])
+        union = a.ids() | b.ids()
+        a.merge(b)
+        assert a.ids() == union
+
+    def test_context_namespaces_features(self):
+        a = self.run_cov([("A", 1)], context="prog-a")
+        b = self.run_cov([("A", 1)], context="prog-b")
+        assert a.ids().isdisjoint(b.ids()) or a.ids() != b.ids()
+        assert feature_id("x", "s", 7) != feature_id("y", "s", 7)
+
+    def test_signature_is_stable_text(self):
+        assert coverage_signature([3, 1, 2]) == \
+            coverage_signature([1, 2, 3])
+        assert len(coverage_signature([1])) == 40   # sha1 hex
+
+    def test_collect_coverage_helper(self):
+        ids = collect_coverage(Program, SRC,
+                               [("E", "A", 1), ("E", "B", 0)])
+        assert ids
+        assert collect_coverage(Program, "not a program ;;;", []) is None
+
+
+# ------------------------------------------------------- DFA edge coverage
+class TestDfaEdgeCoverage:
+    def make(self, src=SRC):
+        bound = bind(parse(src))
+        return build_dfa(bound), bound
+
+    def test_boot_covers_boot_edges_only(self):
+        dfa, _ = self.make()
+        cov = DfaEdgeCoverage(dfa)
+        program = Program(SRC)
+        program.observe(cov)
+        program.start()
+        labels = {dfa.edges[i][1] for i in cov.covered}
+        assert labels == {"boot"}
+
+    def test_events_advance_the_frontier(self):
+        dfa, _ = self.make()
+        cov = DfaEdgeCoverage(dfa)
+        program = Program(SRC)
+        program.observe(cov)
+        program.start()
+        after_boot = len(cov.covered)
+        program.send("A", 1)
+        assert len(cov.covered) > after_boot
+        labels = {dfa.edges[i][1] for i in cov.covered}
+        assert "event A" in labels
+
+    def test_more_stimuli_strictly_more_edges(self):
+        dfa, _ = self.make()
+
+        def run(script):
+            cov = DfaEdgeCoverage(dfa)
+            program = Program(SRC)
+            program.observe(cov)
+            program.start()
+            for name in script:
+                program.send(name, 1)
+            return cov.covered
+
+        assert run(["A"]) < run(["A", "A", "B"])
+
+    def test_merge_and_ids(self):
+        dfa, _ = self.make()
+        a, b = DfaEdgeCoverage(dfa), DfaEdgeCoverage(dfa)
+        a.covered = {0}
+        b.covered = {1}
+        a.merge(b)
+        assert a.covered == {0, 1}
+        assert len(a.ids()) == 2
+        assert a.signature() != b.signature()
+
+    def test_unknown_trigger_keeps_frontier(self):
+        dfa, _ = self.make()
+        cov = DfaEdgeCoverage(dfa)
+        frontier = set(cov._frontier)
+        cov.on_reaction_begin(0, "event:NOPE", None, 0)
+        assert cov._frontier == frontier    # no match → stay put

@@ -144,6 +144,34 @@ class TestHookBus:
         assert fire[1] == {"deadline_us": 10_000, "delta_us": 15_000,
                            "n_trails": 1}
 
+    def test_event_log_ring_bounds_memory(self):
+        log = EventLog(maxlen=8)
+        for i in range(100):
+            log.on_step("main", (), "Nop", i)
+        assert len(log.events) == 8
+        assert log.seen == 100
+        assert log.dropped == 92
+        # the ring keeps the *latest* events
+        assert [f["line"] for _, f in log.events] == list(range(92, 100))
+
+    def test_event_log_default_is_unbounded(self):
+        log = EventLog()
+        for i in range(100):
+            log.on_step("main", (), "Nop", i)
+        assert len(log.events) == 100 and log.dropped == 0
+
+    def test_event_log_ring_subscribed_to_program(self):
+        program = Program(COUNTER_SRC, observe=True)
+        log = program.observe(EventLog(maxlen=5))
+        program.start()
+        for _ in range(10):
+            program.send("A")
+        assert len(log.events) == 5
+        assert log.seen > 5 and log.dropped == log.seen - 5
+        # helpers keep working on the ring
+        assert len(log.names()) == 5
+        assert all(n in HOOK_EVENTS for n in log.names())
+
     def test_async_steps_observed(self):
         src = """
         input int X;
@@ -227,6 +255,38 @@ class TestMetrics:
         text = render_stats(program.stats())
         assert "reactions_total" in text and "histograms" in text
 
+    def test_histogram_percentiles(self):
+        h = Histogram((10, 20, 50, 100))
+        for v in range(1, 101):     # uniform 1..100
+            h.record(v)
+        assert h.percentile(0) <= h.percentile(50) <= h.percentile(100)
+        assert abs(h.percentile(50) - 50) <= 10
+        assert abs(h.percentile(95) - 95) <= 5
+        assert h.percentile(100) == 100
+        p = h.percentiles()
+        assert set(p) == {"p50", "p95", "p99"}
+
+    def test_histogram_percentiles_clamped_to_observed_range(self):
+        h = Histogram((1000,))
+        h.record(7)
+        # one sample in a huge bucket must not interpolate past reality
+        assert h.percentile(50) == 7 and h.percentile(99) == 7
+        assert Histogram().percentile(50) is None
+
+    def test_histogram_percentile_overflow_bucket(self):
+        h = Histogram((10,))
+        h.record(5)
+        h.record(1000)              # overflow bucket
+        assert h.percentile(99) == 1000
+
+    def test_snapshot_and_render_include_percentiles(self):
+        program, _ = observed(COUNTER_SRC, "A", "A")
+        lat = program.stats()["histograms"]["reaction_latency_us"]
+        assert "p50" in lat and "p95" in lat and "p99" in lat
+        assert lat["p50"] <= lat["p95"] <= lat["p99"]
+        text = render_stats(program.stats())
+        assert "p50=" in text and "p99=" in text
+
 
 # --------------------------------------------------------------- exporters
 def chrome_doc(src, *events):
@@ -284,6 +344,63 @@ class TestChromeExport:
         path = tmp_path / "trace.json"
         chrome.write(path)
         assert "traceEvents" in json.loads(path.read_text())
+
+    def test_zero_duration_reactions_get_monotone_nudges(self):
+        """Many same-µs reactions: every event still gets a strictly
+        increasing timestamp, 1 ns (0.001 µs) apart, in delivery order."""
+        chrome = ChromeTraceExporter()
+        for i in range(50):
+            chrome.on_reaction_begin(i, "event:A", None, 0)
+            chrome.on_reaction_end(i, "event:A", 1, 0)
+        ts = [ev["ts"] for ev in chrome.events if ev["ph"] != "M"]
+        assert len(ts) == 100
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+        deltas = [round(b - a, 6) for a, b in zip(ts, ts[1:])]
+        assert all(d == 0.001 for d in deltas)
+
+    def test_nudges_never_overtake_a_small_clock_advance(self):
+        """Regression: >1000 zero-duration events accumulate >1 µs of
+        nudges; a subsequent real clock advance smaller than that must
+        not send the timeline backwards."""
+        chrome = ChromeTraceExporter()
+        for i in range(700):                      # 1400 events = 1.4 µs
+            chrome.on_reaction_begin(i, "event:A", None, 0)
+            chrome.on_reaction_end(i, "event:A", 1, 0)
+        chrome.on_reaction_begin(700, "time", None, 1)   # clock: 0 → 1 µs
+        chrome.on_reaction_end(700, "time", 1, 0)
+        ts = [ev["ts"] for ev in chrome.events if ev["ph"] != "M"]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+
+    def test_nudged_slices_stay_properly_nested(self):
+        """Zero-duration reactions with trail activity inside: B/E pairs
+        must stay balanced and ordered per track on the nudged times."""
+        program = Program(COUNTER_SRC)
+        chrome = program.observe(ChromeTraceExporter())
+        program.start()
+        for _ in range(5):
+            program.send("A")       # all at VM time 0
+        events = [ev for ev in chrome.to_json()["traceEvents"]
+                  if ev["ph"] != "M"]
+        ts = [ev["ts"] for ev in events]
+        assert all(b > a for a, b in zip(ts, ts[1:]))
+        depth: dict = {}
+        for ev in events:
+            if ev["ph"] == "B":
+                depth[ev["tid"]] = depth.get(ev["tid"], 0) + 1
+            elif ev["ph"] == "E":
+                depth[ev["tid"]] = depth[ev["tid"]] - 1
+                assert depth[ev["tid"]] >= 0
+        assert all(d == 0 for d in depth.values())
+
+    def test_real_clock_advance_resyncs_timeline(self):
+        """After a handful of nudges, a large clock jump lands exactly
+        on the VM time (the nudges don't drift the timeline)."""
+        chrome = ChromeTraceExporter()
+        chrome.on_reaction_begin(0, "boot", None, 0)
+        chrome.on_reaction_end(0, "boot", 1, 0)
+        chrome.on_reaction_begin(1, "time", None, 10_000)
+        slices = [ev for ev in chrome.events if ev["ph"] == "B"]
+        assert slices[-1]["ts"] == 10_000.0
 
 
 class TestJsonlExport:
