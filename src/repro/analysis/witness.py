@@ -13,6 +13,13 @@ monitor checks that the final stimulus actually executes both
 conflicting accesses (by source line) in one reaction chain — when it
 does, the witness is marked ``verified`` and its script replays via
 ``repro run FILE --inputs``.
+
+Verified scripts are then **minimised** through the fuzz shrinker
+(:func:`repro.fuzz.shrink.shrink_script` — causal slice, then ddmin)
+under the same both-lines-execute predicate, so the stimulus a user is
+asked to replay is as short as the conflict allows.  The DFA label path
+is reported unchanged — it documents the abstract reachability argument;
+only the concrete replay script shrinks.
 """
 
 from __future__ import annotations
@@ -168,7 +175,7 @@ def realize(source: str, conflict: Conflict,
             continue
         hit = monitor.steps[-1] if monitor.steps else set()
         if want <= hit:
-            witness.script = script[:]
+            witness.script = _minimise(source, script, want)
             witness.verified = True
             return witness
         witness.script = script[:]
@@ -181,7 +188,44 @@ def realize(source: str, conflict: Conflict,
     return witness
 
 
-def _labels_to_nominal_script(labels: list[str]) -> list[tuple]:
+def _script_hits(source: str, script: list, want: set[int]) -> bool:
+    """Replay a candidate script: does its *final* stimulus execute both
+    conflicting lines in one reaction chain?"""
+    from ..runtime.program import Program
+
+    program = Program(source, check=False)
+    monitor = _LineMonitor()
+    program.observe(monitor)
+    monitor.begin()
+    program.start()
+    for item in script:
+        if program.done:
+            return False
+        if item[0] == "T" and item[1] < program.clock:
+            return False  # time cannot go backwards
+        monitor.begin()
+        if item[0] == "E":
+            program.send(item[1], item[2])
+        else:
+            program.at(item[1])
+    hit = monitor.steps[-1] if monitor.steps else set()
+    return want <= hit
+
+
+def _minimise(source: str, script: list, want: set[int]) -> list[tuple]:
+    """Shrink a verified witness script (never the user's source)."""
+    if len(script) < 2:
+        return script[:]
+    from ..fuzz.shrink import shrink_script
+
+    try:
+        result = shrink_script(
+            source, script,
+            lambda _src, candidate: _script_hits(source, candidate, want),
+            max_tests=200)
+        return [tuple(item) for item in result.script]
+    except Exception:     # minimisation must never kill the lint
+        return script[:]
     """Best-effort script without running the VM (verify=False mode):
     events with value 1; timers cannot be resolved statically."""
     script: list[tuple] = []

@@ -3,11 +3,12 @@
 One command measures the repo's performance-sensitive surfaces and
 writes a machine-readable snapshot:
 
-* **VM reaction throughput** over the standard fan-out workload, in four
-  instrumentation configurations — ``off`` (no subscribers ever),
+* **VM reaction throughput** over the standard fan-out workload, in
+  five instrumentation configurations — ``off`` (no subscribers ever),
   ``detached`` (subscribed then unsubscribed: the hooks-off fast path
-  after a profiling session ends), ``metrics``, and ``full`` (metrics +
-  both exporters);
+  after a profiling session ends), ``metrics``, ``full`` (metrics +
+  both exporters), and ``causal`` (a :class:`~repro.obs.CausalGraph`
+  subscribed; recorded for the trajectory, not gated);
 * **reaction-latency percentiles** (p50/p95/p99 µs) from the profiler;
 * **deterministic counters** (reactions, steps, emits …) from the
   metrics run — machine-independent, gated *exactly*;
@@ -45,7 +46,10 @@ SCHEMA = 1
 BASELINE_PATH = Path(__file__).resolve().parents[2] \
     / "benchmarks" / "BENCH_baseline.json"
 
-#: overhead ratios gated against the baseline
+#: overhead ratios gated against the baseline.  The ``causal`` mode
+#: (CausalGraph subscribed) is *recorded* in snapshots but not gated:
+#: older baselines predate it, and its cost tracks the full-export modes
+#: that already are.
 RATIO_KEYS = ("metrics_vs_off", "full_vs_off", "detached_vs_off")
 
 TRAILS = 16
@@ -85,6 +89,10 @@ def _time_mode(mode: str, repeats: int) -> tuple[float, Optional[dict]]:
         if mode == "full":
             program.observe(ChromeTraceExporter())
             program.observe(JsonlExporter())
+        elif mode == "causal":
+            from .obs import CausalGraph
+
+            program.observe(CausalGraph(program.hooks))
         elif mode == "detached":
             # subscribe + unsubscribe: the bus must drop back to the
             # guarded no-op fast path once the last subscriber leaves
@@ -97,11 +105,11 @@ def _time_mode(mode: str, repeats: int) -> tuple[float, Optional[dict]]:
 
 
 def bench_vm(repeats: int = 3) -> dict:
-    """Reaction throughput in all four instrumentation modes, plus the
+    """Reaction throughput in all five instrumentation modes, plus the
     deterministic counters and the profiler's latency percentiles."""
     timings = {}
     counters = {}
-    for mode in ("off", "detached", "metrics", "full"):
+    for mode in ("off", "detached", "metrics", "full", "causal"):
         secs, stats = _time_mode(mode, repeats)
         timings[mode] = secs
         if stats is not None:
@@ -119,6 +127,7 @@ def bench_vm(repeats: int = 3) -> dict:
             "metrics_vs_off": timings["metrics"] / off,
             "full_vs_off": timings["full"] / off,
             "detached_vs_off": timings["detached"] / off,
+            "causal_vs_off": timings["causal"] / off,
         },
         "reactions_per_s": (EVENTS + 1) / off,
         "counters": counters,

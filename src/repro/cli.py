@@ -14,8 +14,17 @@ reproduction's analysis artifacts:
 ``run``     execute on the reference VM, feeding events/time from
             positional inputs or a ``--inputs`` script file; ``--trace``
             prints the reaction trace, ``--trace-json``/``--trace-jsonl``
-            export a Perfetto-loadable Chrome trace / machine-readable
-            JSONL, and ``--stats`` prints the metrics snapshot
+            export a Perfetto-loadable Chrome trace (with causal flow
+            arrows) / machine-readable JSONL, ``--stats`` prints the
+            metrics snapshot, and ``--flight-recorder N`` dumps the last
+            N hook events if the run crashes
+``why``     replay a program against a stimulus script and print the
+            *causal slice* of a target occurrence — the exact chain of
+            resumes/emits/timer fires that led to it
+            (docs/OBSERVABILITY.md)
+``debug``   time-travel debugger: replay deterministically, pause at any
+            reaction boundary, inspect memory/trails, step forward *and
+            backward* (``step``/``back``/``goto N``/``state``/``why``)
 ``profile`` run with full instrumentation and print the metrics report
             (``--json`` writes the raw snapshot)
 ``c``       emit the §4.4 C translation to stdout (or ``-o``);
@@ -139,28 +148,46 @@ def _feed_inputs(program: Program, inputs) -> None:
             program.send(item)
 
 
+def _load_script(path: str) -> list:
+    from .fuzz.gen import parse_script_text
+
+    return parse_script_text(_load(path))
+
+
+def _feed_script(program: Program, script) -> None:
+    """Drive a booted program from fuzz-format script items."""
+    for item in script:
+        if program.done or program.sched.paused():
+            break
+        if item[0] == "E":
+            program.send(item[1], item[2])
+        else:
+            program.at(item[1])
+
+
 def cmd_run(args) -> int:
+    from contextlib import nullcontext
+
     source = _load(args.file)
     program = Program(source, filename=args.file, trace=args.trace,
                       observe=args.stats)
     chrome = jsonl = None
     if args.trace_json:
-        chrome = program.observe(ChromeTraceExporter())
+        chrome = program.observe(
+            ChromeTraceExporter(flows_from=program.hooks))
     if args.trace_jsonl:
         jsonl = program.observe(JsonlExporter())
-    program.start()
-    if args.inputs_file:
-        from .fuzz.gen import parse_script_text
+    guard = nullcontext()
+    if args.flight_recorder:
+        from .obs import FlightRecorder
 
-        script = parse_script_text(Path(args.inputs_file).read_text())
-        for item in script:
-            if program.done:
-                break
-            if item[0] == "E":
-                program.send(item[1], item[2])
-            else:
-                program.at(item[1])
-    _feed_inputs(program, args.inputs)
+        recorder = program.observe(FlightRecorder(args.flight_recorder))
+        guard = recorder.dump_on_exception()
+    with guard:
+        program.start()
+        if args.inputs_file:
+            _feed_script(program, _load_script(args.inputs_file))
+        _feed_inputs(program, args.inputs)
     sys.stdout.write(program.output())
     if args.trace:
         print("--- trace ---", file=sys.stderr)
@@ -190,7 +217,8 @@ def cmd_profile(args) -> int:
     program = Program(source, filename=args.file, observe=True)
     chrome = stream = profiler = None
     if args.trace_json:
-        chrome = program.observe(ChromeTraceExporter())
+        chrome = program.observe(
+            ChromeTraceExporter(flows_from=program.hooks))
     if args.stream:
         stream = program.observe(
             StreamingJsonlExporter(args.stream, flush_every=1024))
@@ -218,6 +246,76 @@ def cmd_profile(args) -> int:
         Path(args.json).write_text(json.dumps(stats, indent=2,
                                               default=repr) + "\n")
         print(f"wrote {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_why(args) -> int:
+    """Causal slice of one occurrence: replay, find, print ancestry."""
+    from .obs import CausalGraph
+
+    source = _load(args.file)
+    program = Program(source, filename=args.file)
+    graph = program.observe(CausalGraph(program.hooks))
+    program.start()
+    if args.inputs_file:
+        _feed_script(program, _load_script(args.inputs_file))
+    _feed_inputs(program, args.inputs)
+    node = graph.find(args.at)
+    if node is None:
+        print(graph.why(args.at), file=sys.stderr)
+        return 1
+    print(f"causal slice of [{node.span}] {node.describe()} "
+          f"(reaction #{node.reaction}):")
+    print(graph.render_slice(node.span, steps=args.steps))
+    return 0
+
+
+def cmd_debug(args) -> int:
+    """Interactive time-travel REPL (see docs/OBSERVABILITY.md)."""
+    from .obs import TimeTravelDebugger
+
+    source = _load(args.file)
+    script = _load_script(args.inputs_file) if args.inputs_file else []
+    dbg = TimeTravelDebugger(source, script, filename=args.file)
+    print(f"{args.file}: {dbg.total} reaction(s) replayed "
+          f"deterministically; `help` lists commands")
+    print(dbg.render_state())
+    interactive = sys.stdin.isatty()
+    while True:
+        if interactive:
+            print("(repro-debug) ", end="", flush=True)
+        line = sys.stdin.readline()
+        if not line:
+            break
+        words = line.split()
+        if not words:
+            continue
+        cmd, rest = words[0], words[1:]
+        if cmd in ("q", "quit", "exit"):
+            break
+        elif cmd in ("h", "help"):
+            print("step | back | goto N | state | trace | "
+                  "why TARGET | sig | quit")
+        elif cmd in ("s", "step"):
+            dbg.step()
+            print(dbg.render_state())
+        elif cmd in ("b", "back"):
+            dbg.back()
+            print(dbg.render_state())
+        elif cmd == "goto" and rest and rest[0].lstrip("-").isdigit():
+            dbg.goto(int(rest[0]))
+            print(dbg.render_state())
+        elif cmd == "state":
+            print(dbg.render_state())
+        elif cmd == "trace":
+            print(dbg.render_trace())
+        elif cmd == "why" and rest:
+            print(dbg.why(rest[0]))
+        elif cmd == "sig":
+            ok = dbg.signature() == dbg.full_signature[:dbg.at]
+            print(f"signature prefix match: {ok}")
+        else:
+            print(f"unknown command {line.strip()!r} (try `help`)")
     return 0
 
 
@@ -291,7 +389,8 @@ def cmd_fuzz(args) -> int:
                         fault=args.inject_fault, do_shrink=args.shrink,
                         report=args.report, profile=args.profile,
                         guided=args.guided, target=target,
-                        corpus_max=args.corpus_max)
+                        corpus_max=args.corpus_max,
+                        artifact_dir=args.artifact_dir)
     stats = runner.run(n=args.n, minutes=args.minutes)
     return 0 if stats.ok() else 1
 
@@ -349,7 +448,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="export every hook event as JSON lines")
     p.add_argument("--stats", action="store_true",
                    help="collect metrics and print the snapshot")
+    p.add_argument("--flight-recorder", type=int, nargs="?", const=4096,
+                   default=None, metavar="N",
+                   help="keep the last N hook events (default 4096) and "
+                        "dump them to stderr if the run crashes")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "why", help="print the causal slice of an occurrence")
+    p.add_argument("file")
+    p.add_argument("inputs", nargs="*",
+                   help="event inputs: NAME, NAME=VALUE, or @TIME")
+    p.add_argument("--inputs", dest="inputs_file", metavar="FILE",
+                   help="replay a script file first (fuzz/witness format)")
+    p.add_argument("--at", required=True, metavar="TARGET",
+                   help="occurrence to explain: trail:LABEL, line:N, "
+                        "event:NAME, reaction:N, or a bare name")
+    p.add_argument("--steps", action="store_true",
+                   help="include interpreter steps in the slice")
+    p.set_defaults(fn=cmd_why)
+
+    p = sub.add_parser(
+        "debug", help="time-travel debugger (deterministic replay)")
+    p.add_argument("file")
+    p.add_argument("--inputs", dest="inputs_file", metavar="FILE",
+                   help="stimulus script to replay (fuzz/witness format)")
+    p.set_defaults(fn=cmd_debug)
 
     p = sub.add_parser("profile",
                        help="run fully instrumented; print metrics")
@@ -427,6 +551,10 @@ def build_parser() -> argparse.ArgumentParser:
                         "of generating programs")
     p.add_argument("--corpus-max", type=int, default=64,
                    help="guided-mode corpus bound (default 64)")
+    p.add_argument("--artifact-dir", metavar="DIR",
+                   help="write each failure's reproducer (.ceu, .script) "
+                        "and a Perfetto trace with causal flow arrows "
+                        "(.trace.json) here — CI uploads this directory")
     p.set_defaults(fn=cmd_fuzz)
 
     p = sub.add_parser("bench",

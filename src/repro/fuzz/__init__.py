@@ -19,13 +19,15 @@ from .mutate import INTERESTING, ScriptMutator
 from .oracles import (FAULTS, OracleFailure, RunResult, bounds_violations,
                       canon_psig, check_case, has_gcc, run_c, run_vm)
 from .runner import FuzzRunner, FuzzStats
-from .shrink import ShrinkResult, shrink
+from .shrink import (ShrinkResult, causal_cone_script, shrink,
+                     shrink_script)
 
 __all__ = [
     "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "FuzzStats",
     "GenCase", "GenConfig", "INTERESTING", "OracleFailure", "PRIO",
     "PROFILES", "ProgramGen", "RunResult", "ScriptMutator",
-    "ShrinkResult", "bounds_violations", "canon_psig", "check_case",
-    "generate_case", "has_gcc", "parse_script_text", "relay_program",
-    "run_c", "run_vm", "script_text", "shrink",
+    "ShrinkResult", "bounds_violations", "canon_psig",
+    "causal_cone_script", "check_case", "generate_case", "has_gcc",
+    "parse_script_text", "relay_program", "run_c", "run_vm",
+    "script_text", "shrink", "shrink_script",
 ]

@@ -117,7 +117,10 @@ def script_text(script: list[tuple]) -> str:
     out = []
     for item in script:
         if item[0] == "E":
-            out.append(f"E {item[1]} {item[2]}")
+            if item[2] is None:      # void event: no payload column
+                out.append(f"E {item[1]}")
+            else:
+                out.append(f"E {item[1]} {item[2]}")
         else:
             out.append(f"T {item[1]}")
     return "\n".join(out) + "\n"

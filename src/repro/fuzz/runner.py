@@ -89,6 +89,7 @@ class FuzzRunner:
                  profile: str = "diff",
                  guided: bool = False, target: Optional[str] = None,
                  corpus_max: int = 64, mutate_ratio: float = 0.75,
+                 artifact_dir: Optional[str] = None,
                  log: Callable[[str], None] = lambda msg: print(
                      msg, file=sys.stderr)):
         self.seed = seed
@@ -98,6 +99,7 @@ class FuzzRunner:
         self.mutate = FAULTS[fault] if fault else None
         self.do_shrink = do_shrink
         self.report_path = report
+        self.artifact_dir = artifact_dir
         self.log = log
         self.stats = FuzzStats()
         self.exporter = JsonlExporter()
@@ -260,6 +262,8 @@ class FuzzRunner:
                          shrunk_src=shrunk.src if shrunk else None,
                          shrunk_script=(script_text(shrunk.script)
                                         if shrunk else None))
+            if self.artifact_dir:
+                self._write_artifacts(failure, shrunk)
 
     # ------------------------------------------------------------ shrinking
     def _shrink_failure(self, failure: OracleFailure) -> ShrinkResult:
@@ -284,6 +288,46 @@ class FuzzRunner:
         self.log("--- reproducer ---\n" + result.src)
         self.log("--- script ---\n" + script_text(result.script))
         return result
+
+    # ------------------------------------------------------------ artifacts
+    def _write_artifacts(self, failure: OracleFailure,
+                         shrunk: Optional[ShrinkResult]) -> None:
+        """Persist one failure for CI upload: the (shrunk, if available)
+        reproducer source + script, and a Perfetto trace with causal
+        flow arrows from an instrumented VM replay."""
+        import os
+
+        from ..obs import ChromeTraceExporter
+
+        src = shrunk.src if shrunk else failure.src
+        script = list(shrunk.script) if shrunk else list(failure.script)
+        os.makedirs(self.artifact_dir, exist_ok=True)
+        stem = os.path.join(self.artifact_dir,
+                            f"repro_{failure.seed}_{failure.oracle}")
+        with open(stem + ".ceu", "w") as fh:
+            fh.write(src if src.endswith("\n") else src + "\n")
+        with open(stem + ".script", "w") as fh:
+            fh.write(script_text(script))
+        try:
+            program = Program(src)
+            chrome = program.observe(
+                ChromeTraceExporter(flows_from=program.hooks))
+            try:
+                program.start()
+                for item in script:
+                    if program.done:
+                        break
+                    if item[0] == "E":
+                        program.send(item[1], item[2])
+                    else:
+                        program.at(item[1])
+            except Exception:
+                pass  # a crashing replay still yields a useful trace
+            chrome.write(stem + ".trace.json")
+        except Exception as err:
+            with open(stem + ".trace.err", "w") as fh:
+                fh.write(f"trace replay unavailable: {err}\n")
+        self.log(f"artifacts: {stem}.{{ceu,script,trace.json}}")
 
     # -------------------------------------------------------------- report
     def summary(self) -> str:

@@ -12,6 +12,16 @@ line removal safe.
 
 Every fuzz failure should land as a reproducer small enough to read —
 the acceptance bar is ≤ 15 lines for an injected codegen fault.
+
+Before any ddmin round the shrinker tries a **causal slice** pass
+(:func:`causal_cone_script`): replay the failing script once with a
+:class:`~repro.obs.causal.CausalGraph` attached, take the causal cone of
+the final reaction — the reactions whose occurrences are ancestors of
+anything in it — and drop every stimulus item whose reactions fall
+outside the cone.  One instrumented replay plus one verifying predicate
+call can discard most of a long stimulus before the O(n·log n) ddmin
+sweep starts; if the sliced script does not still fail (the failure was
+not causally confined) the pass is simply skipped.
 """
 
 from __future__ import annotations
@@ -32,9 +42,62 @@ class ShrinkResult:
     script: list
     rounds: int
     tests: int            # predicate evaluations spent
+    sliced: bool = False  # the causal-cone pass dropped stimulus items
 
     def src_lines(self) -> int:
         return len(self.src.splitlines())
+
+
+def causal_cone_script(src: str, script: list) -> Optional[list]:
+    """Project ``script`` onto the causal cone of its final reaction.
+
+    Replays the script once on an instrumented VM, maps every stimulus
+    item to the reaction indices it produced, and keeps only the items
+    whose reactions appear in the causal cone (ancestor closure) of the
+    last reaction that ran.  A crash mid-replay is fine — the cone of
+    whatever reaction ran last is exactly what we want for a VM-fault
+    failure.  Returns ``None`` when the projection cannot help (replay
+    unavailable, fewer than two items, or nothing droppable).
+    """
+    # local imports: fuzz must stay importable without the runtime loaded
+    from ..obs.causal import CausalGraph
+    from ..runtime.program import Program
+
+    if len(script) < 2:
+        return None
+    try:
+        program = Program(src)
+        graph = program.observe(CausalGraph(program.hooks))
+        ranges: list[Optional[tuple[int, int]]] = []
+        before = 0
+        try:
+            program.start()
+            for item in script:
+                if program.done:
+                    ranges.append(None)
+                    continue
+                before = program.sched.reaction_count
+                if item[0] == "E":
+                    program.send(item[1], item[2])
+                else:
+                    program.at(item[1])
+                ranges.append((before, program.sched.reaction_count))
+        except Exception:
+            # a crashing replay still has a (partial) cone; the item
+            # being fed when the VM died gets the in-flight reaction
+            if len(ranges) < len(script):
+                ranges.append((before, program.sched.reaction_count))
+        last = program.sched.reaction_count - 1
+    except CeuError:
+        return None
+    if last < 1:
+        return None
+    ranges += [None] * (len(script) - len(ranges))
+    cone = graph.reaction_cone(last)
+    kept = [item for item, rng in zip(script, ranges)
+            if rng is not None
+            and any(r in cone for r in range(rng[0], rng[1]))]
+    return kept if len(kept) < len(script) else None
 
 
 class _Shrinker:
@@ -172,6 +235,7 @@ def shrink(src: str, script: list, predicate: Predicate,
     if not worker.still_fails(src, script):
         return ShrinkResult(src=src, script=script, rounds=0,
                             tests=worker.tests)
+    script, sliced = _slice_first(worker, src, script)
     rounds = 0
     while rounds < max_rounds:
         rounds += 1
@@ -182,4 +246,36 @@ def shrink(src: str, script: list, predicate: Predicate,
         if (src, len(script)) == before:
             break
     return ShrinkResult(src=src, script=script, rounds=rounds,
-                        tests=worker.tests)
+                        tests=worker.tests, sliced=sliced)
+
+
+def _slice_first(worker: _Shrinker, src: str,
+                 script: list) -> tuple[list, bool]:
+    """The causal pre-pass: accept the cone projection only if the
+    failure still reproduces on it."""
+    try:
+        candidate = causal_cone_script(src, script)
+    except Exception:
+        candidate = None
+    if candidate is not None and worker.still_fails(src, candidate):
+        return candidate, True
+    return script, False
+
+
+def shrink_script(src: str, script: list, predicate: Predicate,
+                  max_tests: int = 500) -> ShrinkResult:
+    """Minimise only the stimulus script, keeping ``src`` untouched.
+
+    This is the witness-minimisation entry point
+    (:mod:`repro.analysis.witness`): lint witnesses must report the
+    user's program verbatim, so only the replay script shrinks — causal
+    slice first, then ddmin.
+    """
+    worker = _Shrinker(predicate, max_tests)
+    if not worker.still_fails(src, script):
+        return ShrinkResult(src=src, script=script, rounds=0,
+                            tests=worker.tests)
+    script, sliced = _slice_first(worker, src, script)
+    script = worker.ddmin_script(src, script)
+    return ShrinkResult(src=src, script=script, rounds=1,
+                        tests=worker.tests, sliced=sliced)

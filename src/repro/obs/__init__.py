@@ -5,8 +5,10 @@ a guarded no-op and the VM behaves (and performs) exactly as before.
 See ``docs/OBSERVABILITY.md`` for the taxonomy and usage.
 """
 
+from .causal import CausalGraph, CausalNode
 from .coverage import (CoverageMap, DfaEdgeCoverage, collect_coverage,
                        coverage_signature)
+from .debug import TimeTravelDebugger
 from .export import ChromeTraceExporter, JsonlExporter
 from .hooks import HOOK_EVENTS, EventLog, HookBus, HookSubscriber
 from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
@@ -20,6 +22,7 @@ __all__ = [
     "MetricsCollector", "render_stats",
     "ChromeTraceExporter", "JsonlExporter",
     "StreamingJsonlExporter", "FlightRecorder", "Profiler",
+    "CausalGraph", "CausalNode", "TimeTravelDebugger",
     "CoverageMap", "DfaEdgeCoverage", "collect_coverage",
     "coverage_signature",
 ]

@@ -1,0 +1,293 @@
+"""Causal tracing: a per-reaction DAG over hook-bus occurrences.
+
+Céu's synchronous semantics make every state change attributable to one
+external event plus a deterministic chain of trail wakeups, internal
+emits (the §2.2 stack policy), and ``par/or`` cancellations.  The plain
+trace records *what* fired; this module records *why*: every hook-bus
+occurrence gets a **span id** and a **parent edge** to the occurrence
+that caused it, producing a DAG whose roots are the external triggers.
+
+Edges are exact, not inferred.  The scheduler threads cause ids through
+its emit paths (see :class:`~repro.obs.hooks.HookBus`): the bus assigns
+span ids at dispatch, the scheduler maintains the *current cause* across
+deferred work (heap-queued resumes, rejoin continuations, timer fires),
+and deferred wakeups carry their registration span (the await / timer
+arm / spawn) as an auxiliary ``wake`` edge.  Two edge kinds result:
+
+* ``cause`` — the occurrence that made this one happen *now* (an emit
+  waking an awaiting trail, a timer fire seeding a reaction, a branch
+  completion dispatching a rejoin);
+* ``wake``  — the earlier occurrence that registered the wakeup (why the
+  trail was listening at all).
+
+The graph answers the debugger's questions (``repro why``): the *causal
+slice* of a target occurrence is the set of its ancestors — the minimal
+chain of events explaining why a trail ran or was killed.  Because
+dispatch is synchronous and the §2.2 emit stack runs awakened trails to
+completion before resuming the emitter, span order **is** the stack
+(LIFO) execution order, so a slice printed in span order reads exactly
+like the paper's walk-throughs.  The same cone powers the fuzz
+shrinker's slice-first pass (:mod:`repro.fuzz.shrink`) and the Perfetto
+flow-event export (:mod:`repro.obs.export`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .hooks import HOOK_EVENTS, HookBus, HookSubscriber
+
+
+@dataclass(slots=True)
+class CausalNode:
+    """One hook-bus occurrence in the causal DAG."""
+
+    span: int          # unique, monotone (bus dispatch order)
+    event: str         # hook taxonomy name
+    fields: dict       # taxonomy fields for the occurrence
+    parent: int        # causing span (0 = the external world)
+    wake: int          # aux cause: await/arm/spawn registration (or 0)
+    reaction: int      # reaction index it happened in (-1 = pre-boot)
+
+    def describe(self) -> str:
+        """One-line human rendering used by slices and ``repro why``."""
+        f = self.fields
+        if self.event == "reaction_begin":
+            extra = "" if f.get("value") is None else f" value={f['value']}"
+            return f"reaction #{f['index']} {f['trigger']}{extra}"
+        if self.event == "reaction_end":
+            return f"reaction #{f['index']} quiesced ({f['steps']} steps)"
+        if self.event == "trail_resume":
+            return f"resume {f['trail']}"
+        if self.event == "trail_halt":
+            return f"halt {f['trail']} ({f['waiting']})"
+        if self.event == "trail_spawn":
+            return f"spawn {f['trail']}"
+        if self.event == "trail_kill":
+            return f"kill {f['trail']}"
+        if self.event == "emit_internal":
+            return f"emit {f['name']} (depth {f['depth']}) by {f['trail']}"
+        if self.event == "emit_output":
+            return f"output {f['name']}={f['value']}"
+        if self.event == "await_begin":
+            return f"{f['trail']} awaits {f['target']}"
+        if self.event == "timer_schedule":
+            return f"{f['trail']} arms timer @{f['deadline_us']}us"
+        if self.event == "timer_fire":
+            return (f"timer fires @{f['deadline_us']}us "
+                    f"({f['n_trails']} trail(s))")
+        if self.event == "region_kill":
+            return f"region kill ({f['n_trails']} trail(s))"
+        if self.event == "async_step":
+            return f"async {f['job']} {f['kind']}"
+        if self.event == "step":
+            return f"{f['trail']} {f['kind']}@{f['line']}"
+        return f"{self.event} {f}"
+
+
+class CausalGraph(HookSubscriber):
+    """Hook-bus subscriber materialising the causal DAG.
+
+    Needs the bus it is subscribed to (to read the span bookkeeping)::
+
+        graph = program.observe(CausalGraph(program.hooks))
+
+    or just ``program.causal()``.
+    """
+
+    def __init__(self, bus: HookBus) -> None:
+        self.bus = bus
+        self.nodes: dict[int, CausalNode] = {}
+        self.order: list[int] = []
+        self._reaction = -1
+
+    # ------------------------------------------------------------ recording
+    def _record(self, event: str, fields: dict) -> CausalNode:
+        bus = self.bus
+        node = CausalNode(
+            span=bus.last_span, event=event, fields=fields,
+            parent=bus.last_parent,
+            wake=bus.wake if event == "trail_resume" else 0,
+            reaction=self._reaction)
+        self.nodes[node.span] = node
+        self.order.append(node.span)
+        return node
+
+    def on_reaction_begin(self, index, trigger, value, time_us) -> None:
+        self._reaction = index
+        self._record("reaction_begin",
+                     {"index": index, "trigger": trigger, "value": value,
+                      "time_us": time_us})
+
+    # ------------------------------------------------------------- queries
+    def __len__(self) -> int:
+        return len(self.order)
+
+    def node(self, span: int) -> Optional[CausalNode]:
+        return self.nodes.get(span)
+
+    def edges(self) -> list[tuple[int, int, str]]:
+        """All edges as ``(src_span, dst_span, kind)`` with kind in
+        ``{"cause", "wake"}`` (src caused dst)."""
+        out: list[tuple[int, int, str]] = []
+        for span in self.order:
+            node = self.nodes[span]
+            if node.parent:
+                out.append((node.parent, span, "cause"))
+            if node.wake:
+                out.append((node.wake, span, "wake"))
+        return out
+
+    def of(self, *events: str) -> list[CausalNode]:
+        wanted = set(events)
+        return [self.nodes[s] for s in self.order
+                if self.nodes[s].event in wanted]
+
+    def roots(self) -> list[CausalNode]:
+        """Externally-caused occurrences (parent = 0)."""
+        return [self.nodes[s] for s in self.order
+                if self.nodes[s].parent == 0]
+
+    # ----------------------------------------------------- target resolution
+    def find(self, at: str) -> Optional[CausalNode]:
+        """Resolve a ``repro why --at`` target to its *last* occurrence.
+
+        Accepted forms: ``trail:LABEL`` (last resume or kill of the
+        trail), ``line:N`` (last interpreter step at source line N),
+        ``event:NAME`` (last internal/output emit of NAME),
+        ``reaction:N``; a bare token tries trail, then event, then — if
+        numeric — line.
+        """
+        kind, _, name = at.partition(":")
+        if name:
+            if kind == "trail":
+                return self._last(lambda n: n.event in
+                                  ("trail_resume", "trail_kill")
+                                  and n.fields["trail"] == name)
+            if kind == "line":
+                return self._last(lambda n: n.event == "step"
+                                  and n.fields["line"] == int(name))
+            if kind == "event":
+                return self._last(lambda n: n.event in
+                                  ("emit_internal", "emit_output")
+                                  and n.fields["name"] == name)
+            if kind == "reaction":
+                return self._last(lambda n: n.event == "reaction_begin"
+                                  and n.fields["index"] == int(name))
+            return None
+        token = at
+        node = self.find(f"trail:{token}")
+        if node is None:
+            node = self.find(f"event:{token}")
+        if node is None and token.isdigit():
+            node = self.find(f"line:{token}")
+        return node
+
+    def _last(self, pred: Callable[[CausalNode], bool]) \
+            -> Optional[CausalNode]:
+        for span in reversed(self.order):
+            if pred(self.nodes[span]):
+                return self.nodes[span]
+        return None
+
+    # --------------------------------------------------------------- slices
+    def slice(self, span: int, wake_edges: bool = True) -> list[CausalNode]:
+        """The causal slice of ``span``: the target plus every ancestor
+        along ``cause`` (and, by default, ``wake``) edges, in span order
+        — which, by the §2.2 stack policy, is LIFO execution order."""
+        keep: set[int] = set()
+        stack = [span]
+        while stack:
+            s = stack.pop()
+            if s in keep or s not in self.nodes:
+                continue
+            keep.add(s)
+            node = self.nodes[s]
+            if node.parent:
+                stack.append(node.parent)
+            if wake_edges and node.wake:
+                stack.append(node.wake)
+        return [self.nodes[s] for s in sorted(keep)]
+
+    def reaction_cone(self, reaction: int) -> set[int]:
+        """Reaction indices inside the causal cone of ``reaction``: the
+        reaction itself plus every reaction an ancestor of any of its
+        occurrences belongs to.  Feeds the shrinker's slice-first pass —
+        stimuli whose reactions fall outside the cone of the failing
+        reaction cannot have contributed to the failure."""
+        targets = [s for s in self.order
+                   if self.nodes[s].reaction == reaction]
+        cone = {reaction}
+        seen: set[int] = set()
+        stack = list(targets)
+        while stack:
+            s = stack.pop()
+            if s in seen or s not in self.nodes:
+                continue
+            seen.add(s)
+            node = self.nodes[s]
+            if node.reaction >= 0:
+                cone.add(node.reaction)
+            if node.parent:
+                stack.append(node.parent)
+            if node.wake:
+                stack.append(node.wake)
+        return cone
+
+    # ------------------------------------------------------------ rendering
+    def render_slice(self, span: int, steps: bool = False) -> str:
+        """Human rendering of :meth:`slice`, one occurrence per line::
+
+            [12] reaction #2 event:I  <- external
+            [14]   resume trail1  <- [12] (awaited at [7])
+            [16]   emit a (depth 1) by trail1  <- [14]
+
+        Lines appear in span order (= stack/LIFO execution order);
+        ``<-`` names the causal parent, ``awaited/armed at`` the wake
+        edge.  ``steps=False`` elides interpreter ``step`` occurrences
+        (unless the target itself is one).
+        """
+        nodes = self.slice(span)
+        lines: list[str] = []
+        depth_of: dict[int, int] = {}
+        for node in nodes:
+            if node.event == "step" and not steps and node.span != span:
+                continue
+            depth = depth_of.get(node.parent, -1) + 1
+            depth_of[node.span] = depth
+            ref = f"<- [{node.parent}]" if node.parent else "<- external"
+            wake = ""
+            if node.wake:
+                verb = ("armed" if self.nodes.get(node.wake) is not None
+                        and self.nodes[node.wake].event == "timer_schedule"
+                        else "awaited")
+                wake = f" ({verb} at [{node.wake}])"
+            mark = " *" if node.span == span else ""
+            lines.append(f"[{node.span}] {'  ' * depth}"
+                         f"{node.describe()}  {ref}{wake}{mark}")
+        return "\n".join(lines)
+
+    def why(self, at: str, steps: bool = False) -> str:
+        """``render_slice(find(at))`` with a clear miss message."""
+        node = self.find(at)
+        if node is None:
+            known = sorted({n.fields["trail"]
+                            for n in self.of("trail_resume")})
+            return (f"no occurrence matches {at!r} "
+                    f"(known trails: {', '.join(known) or 'none'})")
+        return self.render_slice(node.span, steps=steps)
+
+
+def _recorder(event: str, fields: tuple[str, ...]) -> Callable:
+    def record(self, *args) -> None:
+        self._record(event, dict(zip(fields, args)))
+
+    record.__name__ = f"on_{event}"
+    return record
+
+
+for _name, _fields in HOOK_EVENTS.items():
+    if _name != "reaction_begin":   # handled explicitly (reaction index)
+        setattr(CausalGraph, f"on_{_name}", _recorder(_name, _fields))
+del _name, _fields

@@ -1,0 +1,138 @@
+"""Time-travel debugging by deterministic re-execution.
+
+The VM is deterministic: a program plus a stimulus script fixes every
+reaction (the property the replay fuzz oracle checks).  That makes
+time travel cheap — no state snapshots, no undo log.  "Go back to
+reaction 7" simply re-executes the program from boot with the
+scheduler's :attr:`~repro.runtime.scheduler.Scheduler.pause_at` gate set
+to 7: the drivers refuse to *start* reaction 7, leaving the VM frozen at
+the exact reaction boundary, fully inspectable (memory, clock, live
+trails, the causal DAG so far).  Stepping forward is the same thing with
+a larger gate; ``repro debug`` wraps this in a tiny REPL.
+
+Positions are *completed reaction counts*: position ``n`` means
+reactions ``0 .. n-1`` (0 is boot) have run.  Re-execution is
+byte-identical — the acceptance tests pin that ``goto`` + re-stepping
+reproduces the original :meth:`~repro.runtime.trace.Trace.signature`
+prefix for prefix.
+
+One caveat worth knowing: when a pause lands inside a time advance
+(``T`` script item), the VM clock already shows the advance's *target*
+instant — the not-yet-run timer reactions between the pause boundary and
+the target are simply still pending.  They run, deterministically, once
+the position moves past them.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .causal import CausalGraph
+
+
+class TimeTravelDebugger:
+    """Replay debugger over one program + stimulus script.
+
+    >>> dbg = TimeTravelDebugger(src, script)
+    >>> dbg.total            # reactions in the full run
+    >>> dbg.goto(2)          # re-execute, pause before reaction 2
+    >>> dbg.state()["memory"]
+    >>> dbg.step(); dbg.step()
+    >>> dbg.signature() == dbg.full_signature   # caught back up
+    True
+
+    ``script`` uses the fuzz-driver item format:
+    ``("E", name, value)`` sends an input event, ``("T", abs_us)``
+    advances the wall clock to an absolute instant
+    (:func:`repro.fuzz.gen.parse_script_text` reads the file form).
+    """
+
+    def __init__(self, source: str, script: Sequence[tuple] = (),
+                 filename: str = "<ceu>"):
+        self.source = source
+        self.script = list(script)
+        self.filename = filename
+        self.program, self.graph = self._execute(None)
+        #: reactions in the unpaused run — the debugger's horizon
+        self.total = self.program.sched.reaction_count
+        #: the full run's trace signature (re-steps must reproduce it)
+        self.full_signature = self.program.trace.signature()
+        self.at = self.total
+
+    # ----------------------------------------------------------- execution
+    def _execute(self, pause_at: Optional[int]):
+        """Fresh deterministic run, stopped at ``pause_at`` reactions."""
+        # deferred: obs is imported by the runtime it drives
+        from ..runtime.program import Program
+
+        program = Program(self.source, trace=True, filename=self.filename)
+        graph = program.observe(CausalGraph(program.hooks))
+        program.sched.pause_at = pause_at
+        program.start()
+        for item in self.script:
+            if program.done or program.sched.paused():
+                break
+            if item[0] == "E":
+                program.send(item[1], item[2])
+            else:
+                program.at(item[1])
+        return program, graph
+
+    # ------------------------------------------------------------ movement
+    def goto(self, n: int) -> int:
+        """Re-execute from boot up to position ``n`` (clamped to
+        ``1 .. total``; boot itself cannot be unwound)."""
+        n = max(1, min(n, self.total))
+        self.program, self.graph = self._execute(
+            None if n >= self.total else n)
+        self.at = self.program.sched.reaction_count
+        return self.at
+
+    def step(self) -> int:
+        """Forward one reaction (no-op at the end of the run)."""
+        return self.goto(self.at + 1)
+
+    def back(self) -> int:
+        """Backward one reaction (no-op at position 1)."""
+        return self.goto(self.at - 1)
+
+    # ---------------------------------------------------------- inspection
+    def signature(self) -> tuple:
+        """Trace signature of the reactions run so far — at position
+        ``total`` this equals :attr:`full_signature` byte for byte."""
+        return self.program.trace.signature()
+
+    def state(self) -> dict:
+        """Structured snapshot of the paused VM."""
+        sched = self.program.sched
+        trails = sorted(sched._live, key=lambda t: t.seq)
+        return {
+            "at": self.at,
+            "total": self.total,
+            "clock_us": sched.clock,
+            "done": sched.done,
+            "result": sched.result,
+            "memory": sched.memory.snapshot(),
+            "trails": [(t.label, t.waiting or "running")
+                       for t in trails if t.alive],
+        }
+
+    def render_state(self) -> str:
+        s = self.state()
+        lines = [f"position {s['at']}/{s['total']}  "
+                 f"clock {s['clock_us']}us  "
+                 + (f"terminated result={s['result']}" if s["done"]
+                    else "running")]
+        for name, value in sorted(s["memory"].items()):
+            lines.append(f"  mem  {name} = {value}")
+        for label, waiting in s["trails"]:
+            lines.append(f"  trail {label}: {waiting}")
+        return "\n".join(lines)
+
+    def render_trace(self) -> str:
+        return self.program.trace.render()
+
+    def why(self, at: str, steps: bool = False) -> str:
+        """Causal slice (``repro why``) over the *current* position's
+        graph — targets in the not-yet-replayed future are not visible."""
+        return self.graph.why(at, steps=steps)

@@ -80,13 +80,37 @@ class HookBus:
 
         if self.hooks.enabled:
             self.hooks.reaction_begin(i, trigger, value, now)
+
+    Every dispatch also assigns the occurrence a **span id** and records
+    the causal context it fired under (see :mod:`repro.obs.causal`):
+
+    * ``last_span`` — the span id of the occurrence just dispatched
+      (monotone, 1-based; subscribers read it from their handlers);
+    * ``last_parent`` — the span of the occurrence *causing* this one
+      (0 = the external world).  Emitting sites maintain ``cause``: the
+      scheduler sets it to the current reaction / trail-resume / internal
+      emit span for their dynamic extent, so parent edges are exact
+      rather than inferred from event adjacency;
+    * ``wake`` — an auxiliary cause published only around
+      ``trail_resume`` dispatches: the span of the await / timer-arm /
+      spawn occurrence that registered the wakeup.
+
+    The bookkeeping is three attribute stores per dispatched event and
+    none at all while the bus is disabled, so the hooks-off fast path is
+    untouched.
     """
 
-    __slots__ = ("subscribers", "enabled")
+    __slots__ = ("subscribers", "enabled", "span_seq", "last_span",
+                 "last_parent", "cause", "wake")
 
     def __init__(self) -> None:
         self.subscribers: list[HookSubscriber] = []
         self.enabled = False
+        self.span_seq = 0       # last span id handed out
+        self.last_span = 0      # span of the most recent dispatch
+        self.last_parent = 0    # its causal parent (0 = external world)
+        self.cause = 0          # span of the occurrence now executing
+        self.wake = 0           # aux cause for the next trail_resume
 
     def subscribe(self, subscriber: HookSubscriber) -> HookSubscriber:
         if subscriber not in self.subscribers:
@@ -104,6 +128,10 @@ def _dispatcher(event: str) -> Callable:
     handler = f"on_{event}"
 
     def dispatch(self, *args) -> None:
+        span = self.span_seq + 1
+        self.span_seq = span
+        self.last_span = span
+        self.last_parent = self.cause
         for sub in self.subscribers:
             getattr(sub, handler)(*args)
 
@@ -143,6 +171,40 @@ class EventLog(HookSubscriber):
     def of(self, *names: str) -> list[tuple[str, dict]]:
         wanted = set(names)
         return [(n, f) for n, f in self.events if n in wanted]
+
+    def signature(self) -> tuple:
+        """Rebuild :meth:`repro.runtime.trace.Trace.signature` from the
+        recorded events.
+
+        A signature computed from a *partial* event stream would silently
+        collide with (or diverge from) the true behaviour, so this is
+        only legal while every delivered event is still retained: a
+        bounded log that has evicted events (``dropped > 0``) raises
+        ``ValueError`` instead of fabricating a digest.
+        """
+        if self.dropped:
+            raise ValueError(
+                f"cannot compute a signature from a partial event log: "
+                f"{self.dropped} of {self.seen} events were dropped by "
+                f"the maxlen={self.maxlen} ring (use an unbounded "
+                f"EventLog or the Trace recorder)")
+        rows: list[tuple] = []
+        trigger: Optional[str] = None
+        steps: list[tuple] = []
+        emitted: list[str] = []
+        for name, f in self.events:
+            if name == "reaction_begin":
+                trigger, steps, emitted = f["trigger"], [], []
+            elif trigger is None:
+                continue
+            elif name == "step":
+                steps.append((f["trail"], f["kind"], f["line"]))
+            elif name == "emit_internal":
+                emitted.append(f["name"])
+            elif name == "reaction_end":
+                rows.append((trigger, tuple(steps), tuple(emitted)))
+                trigger = None
+        return tuple(rows)
 
 
 def _recorder(event: str, fields: tuple[str, ...]) -> Callable:

@@ -26,7 +26,9 @@ in the full event stream even after rotation or ring eviction.
 from __future__ import annotations
 
 import os
+import sys
 from collections import deque
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Callable, Optional
 
@@ -172,3 +174,31 @@ class FlightRecorder(_LineSink):
             for line in self.ring:
                 fh.write(line + "\n")
         return len(self.ring)
+
+    @contextmanager
+    def dump_on_exception(self, path=None, stream=None):
+        """Write the ring out if the guarded block raises, then re-raise.
+
+        The crash-forensics mode: wrap the program drive in this and a
+        failing run leaves the last ``maxlen`` hook events behind —
+        JSONL to ``path`` when given, human-bannered lines to ``stream``
+        (default ``sys.stderr``) otherwise or additionally.  A clean
+        exit writes nothing.
+
+        >>> rec = program.observe(FlightRecorder(maxlen=256))
+        >>> with rec.dump_on_exception(path="crash.jsonl"):
+        ...     program.send("I")
+        """
+        try:
+            yield self
+        except BaseException:
+            if path is not None:
+                self.dump(path)
+            if stream is not None or path is None:
+                out = stream if stream is not None else sys.stderr
+                out.write(f"--- flight recorder: last {len(self.ring)} "
+                          f"of {self.seq} events ---\n")
+                for line in self.ring:
+                    out.write(line + "\n")
+                out.write("--- end flight recorder ---\n")
+            raise

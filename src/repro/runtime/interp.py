@@ -150,6 +150,9 @@ class Interp:
         hooks = self.sched.hooks
         if hooks.enabled:
             hooks.await_begin(trail.label, target, self.sched.clock)
+            # the registration is the aux cause of the eventual wakeup
+            # (timer arms overwrite this with the timer_schedule span)
+            trail.wake_cause = hooks.last_span
 
     def exec_setexp(self, value: ast.Node, trail: Trail):
         if isinstance(value, ast.Exp):

@@ -134,7 +134,7 @@ class Program:
         inputs, then step asyncs (whose emits feed reactions) until no
         asynchronous work remains."""
         steps = 0
-        while not self.sched.done:
+        while not self.sched.done and not self.sched.paused():
             if self.sched.input_queue:
                 self.sched.flush_inputs()
                 continue

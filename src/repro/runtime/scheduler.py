@@ -85,6 +85,11 @@ class Scheduler:
         self.reaction_count = 0
         self.steps_executed = 0
         self.step_limit = step_limit
+        #: time-travel support (repro debug): when set, the scheduler
+        #: refuses to *start* reaction number ``pause_at`` — go_time and
+        #: the input/async drains stop at the boundary, leaving the VM
+        #: inspectable exactly after ``pause_at`` completed reactions
+        self.pause_at: Optional[int] = None
 
         # awaiting registries ("gates", §4.3)
         self.ext_waiting: dict[str, list[Trail]] = {}
@@ -170,6 +175,12 @@ class Scheduler:
         return snap
 
     # ---------------------------------------------------------- public API
+    def paused(self) -> bool:
+        """True when the reaction-boundary pause (:attr:`pause_at`) has
+        been reached — drivers must stop feeding stimuli."""
+        return (self.pause_at is not None
+                and self.reaction_count >= self.pause_at)
+
     def go_init(self) -> str:
         """Boot reaction (``ceu_go_init``)."""
         if self.root is not None:
@@ -180,6 +191,7 @@ class Scheduler:
         self._live.add(trail)
         if self.hooks.enabled:
             self.hooks.trail_spawn(trail.label, trail.path, self.clock)
+            trail.wake_cause = self.hooks.last_span
         self._react("boot", None,
                     lambda: self._enqueue_resume(trail, None))
         return TERMINATED if self.done else RUNNING
@@ -218,7 +230,7 @@ class Scheduler:
             raise RuntimeCeuError(
                 f"time goes backwards ({now} < {self.clock})")
         self.clock = now
-        while not self.done:
+        while not self.done and not self.paused():
             deadline = self._next_deadline()
             if deadline is None or deadline > now:
                 break
@@ -248,15 +260,19 @@ class Scheduler:
                 parts[-1].append(trail)
             delta = now - deadline
             for part in parts:
-                if self.done:
+                if self.done or self.paused():
                     break
                 # an earlier partition's reaction may have killed these
                 live = [t for t in part
                         if t.alive and t.waiting == "time"]
                 if not live:
                     continue
-                if self.hooks.enabled:
+                hooked = self.hooks.enabled
+                if hooked:
+                    prev_cause = self.hooks.cause
                     self.hooks.timer_fire(deadline, delta, len(live))
+                    # the fire is the cause of the reaction it seeds
+                    self.hooks.cause = self.hooks.last_span
 
                 def seed(live=live, delta=delta) -> None:
                     order = reversed(live) if self.reverse_seeds else live
@@ -264,6 +280,8 @@ class Scheduler:
                         self._enqueue_resume(trail, delta)
 
                 self._react("time", deadline, seed, base=deadline)
+                if hooked:
+                    self.hooks.cause = prev_cause
         return TERMINATED if self.done else RUNNING
 
     def advance_time(self, us: int) -> str:
@@ -288,17 +306,24 @@ class Scheduler:
             self._complete_async(job, stop.value)
             return TERMINATED if self.done else RUNNING
         kind = req[0]
-        if self.hooks.enabled:
+        hooked = self.hooks.enabled
+        if hooked:
             self.hooks.async_step(job.seq, kind, self.clock)
+            # the async step causes the reaction(s) its emit triggers
+            self.hooks.cause = self.hooks.last_span
         if kind == "emit_ext":
             _, sym, value = req
             if job.aborted:
+                if hooked:
+                    self.hooks.cause = 0
                 return RUNNING
             self.go_event(sym.name, value)
         elif kind == "emit_time":
             if not job.aborted:
                 self.go_time(self.clock + req[1])
         # "tick": nothing — one loop iteration consumed
+        if hooked:
+            self.hooks.cause = 0
         if not job.aborted and not job.done:
             self._rotate_job(job)
         return TERMINATED if self.done else RUNNING
@@ -308,7 +333,7 @@ class Scheduler:
         self.input_queue.append((name, value))
 
     def flush_inputs(self) -> None:
-        while self.input_queue and not self.done:
+        while self.input_queue and not self.done and not self.paused():
             name, value = self.input_queue.popleft()
             self.go_event(name, value)
 
@@ -348,6 +373,11 @@ class Scheduler:
             start_ns = time.perf_counter_ns()
             self.hooks.reaction_begin(index, trigger, value,
                                       self._current_base)
+            # the reaction span is the causal parent of everything it
+            # runs (seeded resumes, rejoins); its own parent is whatever
+            # triggered it (0 = external, an async step, a timer fire)
+            prev_cause = self.hooks.cause
+            self.hooks.cause = self.hooks.last_span
         try:
             seed()
             while self._heap and not self.done:
@@ -367,6 +397,7 @@ class Scheduler:
                 self.hooks.reaction_end(
                     index, trigger, self._steps_this_reaction,
                     time.perf_counter_ns() - start_ns)
+                self.hooks.cause = prev_cause
         self._check_termination()
 
     def _enqueue_resume(self, trail: Trail, value: Any) -> None:
@@ -375,6 +406,11 @@ class Scheduler:
 
     def _enqueue_join(self, join: Join) -> None:
         prio = (1, -self.depth(join.node)) if self.glitch_free else (0, 0)
+        if self.hooks.enabled:
+            # causal parent of the deferred rejoin: the halt of the
+            # branch whose completion enqueued it (the dispatch may run
+            # much later in the reaction, under a different context)
+            join.cause = self.hooks.last_span
         heapq.heappush(self._heap, (prio, next(self._seq), "join", join))
 
     def _enqueue_escape(self, trail: Trail, signal: Exception) -> None:
@@ -384,16 +420,25 @@ class Scheduler:
             boundary = signal.boundary  # type: ignore[attr-defined]
             target_depth = self.depth(boundary)
         prio = (1, -target_depth) if self.glitch_free else (0, 0)
-        heapq.heappush(self._heap, (prio, next(self._seq), "escape",
-                                    EscapeJoin(trail, signal)))
+        ej = EscapeJoin(trail, signal)
+        if self.hooks.enabled:
+            ej.cause = self.hooks.last_span
+        heapq.heappush(self._heap, (prio, next(self._seq), "escape", ej))
 
     def _dispatch_join(self, join: Join) -> None:
         if join.cancelled or not join.owner.alive:
             return
+        hooked = self.hooks.enabled
+        if hooked:
+            prev_cause = self.hooks.cause
+            if join.cause:
+                self.hooks.cause = join.cause
         if join.mode == "or" or join.has_value:
             self.kill_region(join.region)
         value = join.value if join.has_value else 0
         self._run_trail(join.owner, ("done", value))
+        if hooked:
+            self.hooks.cause = prev_cause
 
     def _dispatch_escape(self, ej: EscapeJoin) -> None:
         if ej.cancelled:
@@ -401,10 +446,17 @@ class Scheduler:
         join = ej.trail.parent_join
         if join is None:  # pragma: no cover - guarded at enqueue time
             return
+        hooked = self.hooks.enabled
+        if hooked:
+            prev_cause = self.hooks.cause
+            if ej.cause:
+                self.hooks.cause = ej.cause
         self.kill_region(join.region)
         owner = join.owner
         if owner.alive:
             self._run_trail(owner, ("escape", ej.signal))
+        if hooked:
+            self.hooks.cause = prev_cause
 
     # --------------------------------------------------------- trail steps
     def _run_trail(self, trail: Trail, value: Any) -> None:
@@ -412,8 +464,16 @@ class Scheduler:
         trail.waiting = None
         trail.time_base = self._current_base
         hooks = self.hooks
-        if hooks.enabled:
+        hooked = hooks.enabled
+        if hooked:
+            # publish the aux wake cause (await/arm/spawn span) for the
+            # resume dispatch, then open the resume's causal context
+            hooks.wake = trail.wake_cause
             hooks.trail_resume(trail.label, trail.path, self.clock)
+            hooks.wake = 0
+            trail.wake_cause = 0
+            prev_cause = hooks.cause
+            hooks.cause = hooks.last_span
         try:
             if not trail.started:
                 trail.started = True
@@ -421,20 +481,25 @@ class Scheduler:
             else:
                 req = trail.gen.send(value)
         except StopIteration:
-            if hooks.enabled:
+            if hooked:
                 hooks.trail_halt(trail.label, trail.path, "done",
                                  self.clock)
             self._trail_completed(trail)
+            if hooked:
+                hooks.cause = prev_cause
             return
         except (BreakSignal, ReturnSignal) as sig:
-            if hooks.enabled:
+            if hooked:
                 hooks.trail_halt(trail.label, trail.path, "escape",
                                  self.clock)
             self._trail_signal(trail, sig)
+            if hooked:
+                hooks.cause = prev_cause
             return
         self._register(trail, req)
-        if hooks.enabled:
+        if hooked:
             hooks.trail_halt(trail.label, trail.path, req[0], self.clock)
+            hooks.cause = prev_cause
 
     def _register(self, trail: Trail, req: tuple) -> None:
         kind = req[0]
@@ -455,6 +520,7 @@ class Scheduler:
                             trail))
             if self.hooks.enabled:
                 self.hooks.timer_schedule(deadline, trail.label, self.clock)
+                trail.wake_cause = self.hooks.last_span
             # an already-late deadline is picked up by the next go_time
         elif kind == "forever":
             self.forever.append(trail)
@@ -516,6 +582,7 @@ class Scheduler:
             self._live.add(child)
             if self.hooks.enabled:
                 self.hooks.trail_spawn(child.label, child.path, self.clock)
+                child.wake_cause = self.hooks.last_span
             self._enqueue_resume(child, None)
         return join
 
@@ -526,12 +593,17 @@ class Scheduler:
         hooked = self.hooks.enabled
         if hooked and victims:
             self.hooks.region_kill(prefix, len(victims), self.clock)
+            # the region kill is the cause of each trail's death
+            prev_cause = self.hooks.cause
+            self.hooks.cause = self.hooks.last_span
         for trail in victims:
             trail.alive = False
             self._live.discard(trail)
             trail.gen.close()
             if hooked:
                 self.hooks.trail_kill(trail.label, trail.path, self.clock)
+        if hooked and victims:
+            self.hooks.cause = prev_cause
         if self.async_jobs:
             kept = deque()
             for job in self.async_jobs:
@@ -555,9 +627,13 @@ class Scheduler:
         top-level emit, +1 per nested emit triggered from an awakened
         trail."""
         self._emit_depth += 1
-        if self.hooks.enabled:
+        hooked = self.hooks.enabled
+        if hooked:
             self.hooks.emit_internal(sym.name, self._emit_depth,
                                      emitter.label, self.clock)
+            # the emit is the causal parent of every trail it wakes
+            prev_cause = self.hooks.cause
+            self.hooks.cause = self.hooks.last_span
         try:
             waiting = self.int_waiting.get(sym.name)
             if not waiting:
@@ -570,6 +646,8 @@ class Scheduler:
                     self._run_trail(trail, value)
         finally:
             self._emit_depth -= 1
+            if hooked:
+                self.hooks.cause = prev_cause
 
     def emit_output(self, sym: EventSymbol, value: Any) -> None:
         if self.hooks.enabled:
@@ -599,15 +677,22 @@ class Scheduler:
     def _complete_async(self, job: AsyncJob, value: Any) -> None:
         job.done = True
         job.result = value
-        if self.hooks.enabled:
+        hooked = self.hooks.enabled
+        if hooked:
             self.hooks.async_step(job.seq, "done", self.clock)
+            done_span = self.hooks.last_span
         if self.async_jobs and self.async_jobs[0] is job:
             self.async_jobs.popleft()
         if job.aborted or not job.owner.alive:
             return
         # completion is a synthetic input event back to the owner (§2.7)
+        if hooked:
+            prev_cause = self.hooks.cause
+            self.hooks.cause = done_span
         self._react(f"async:{job.seq}", value,
                     lambda: self._enqueue_resume(job.owner, value))
+        if hooked:
+            self.hooks.cause = prev_cause
 
     # ------------------------------------------------------------- helpers
     def _next_deadline(self) -> Optional[int]:

@@ -51,7 +51,8 @@ class Trail:
     contiguous-gate ``memset`` destruction (§4.3)."""
 
     __slots__ = ("gen", "path", "parent_join", "branch_index", "alive",
-                 "started", "time_base", "waiting", "seq", "label")
+                 "started", "time_base", "waiting", "seq", "label",
+                 "wake_cause")
 
     def __init__(self, gen, path: tuple, parent_join: Optional["Join"],
                  branch_index: int = 0, time_base: int = 0,
@@ -68,6 +69,10 @@ class Trail:
         self.waiting: Optional[str] = None
         self.seq = next(_trail_seq)
         self.label = label or f"t{self.seq}"
+        #: causality (docs/OBSERVABILITY.md): span id of the occurrence
+        #: that registered the pending wakeup — the await / timer arm /
+        #: spawn — published on the bus when the trail next resumes
+        self.wake_cause = 0
 
     def in_region(self, prefix: tuple) -> bool:
         return self.path[:len(prefix)] == prefix
@@ -93,6 +98,7 @@ class Join:
     value: Any = None         # first `return` value (value-boundary pars)
     has_value: bool = False
     cancelled: bool = False
+    cause: int = 0            # span of the completion that enqueued it
 
     def branch_done(self, index: int) -> bool:
         """Record a normal branch termination; returns True when an
@@ -108,3 +114,4 @@ class EscapeJoin:
     trail: Trail              # the trail whose generator raised the signal
     signal: Exception         # BreakSignal | ReturnSignal
     cancelled: bool = False
+    cause: int = 0            # span of the escape that enqueued it

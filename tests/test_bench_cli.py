@@ -28,8 +28,10 @@ class TestSnapshot:
         assert snap["schema"] == bench.SCHEMA
         vm = snap["vm"]
         assert set(vm["timings_s"]) == \
-            {"off", "detached", "metrics", "full"}
-        assert set(vm["ratios"]) == set(bench.RATIO_KEYS)
+            {"off", "detached", "metrics", "full", "causal"}
+        # causal_vs_off is recorded for the trajectory but never gated
+        assert set(vm["ratios"]) == \
+            set(bench.RATIO_KEYS) | {"causal_vs_off"}
         assert vm["counters"]["reactions_total"] == bench.EVENTS + 1
         assert vm["counters"]["steps_total"] > 0
         lat = vm["latency_us"]["event:A"]

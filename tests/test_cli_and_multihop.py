@@ -113,7 +113,8 @@ class TestCliObservability:
         assert "ui.perfetto.dev" in capsys.readouterr().err
         doc = json.loads(out.read_text())
         events = doc["traceEvents"]
-        assert {e["ph"] for e in events} <= {"B", "E", "i", "M"}
+        # "s"/"f" are the causal flow arrows (docs/OBSERVABILITY.md)
+        assert {e["ph"] for e in events} <= {"B", "E", "i", "M", "s", "f"}
         # every B has its E: the file loads with balanced slices
         per_tid: dict = {}
         for ev in events:
