@@ -8,8 +8,8 @@ section end to end.  The printed tables are also written to
 
 Benchmarks may also call :func:`record_metrics` with an observability
 snapshot (``program.stats()``); everything recorded during the session is
-written to ``BENCH_observability.json`` at the repo root when the session
-ends — the machine-readable perf trajectory the ROADMAP's "fast as the
+written to ``benchmarks/BENCH_observability.json`` when the session ends
+— the machine-readable perf trajectory the ROADMAP's "fast as the
 hardware allows" goal is tracked against.
 """
 
@@ -22,7 +22,7 @@ from pathlib import Path
 OUT_DIR = Path(__file__).parent / "out"
 OUT_DIR.mkdir(exist_ok=True)
 
-BENCH_JSON = Path(__file__).parent.parent / "BENCH_observability.json"
+BENCH_JSON = Path(__file__).parent / "BENCH_observability.json"
 
 _METRICS: dict[str, dict] = {}
 

@@ -15,14 +15,24 @@ writes a machine-readable snapshot:
 * **DES + streaming-exporter throughput** with the exporter's resident
   high-water mark.
 
-Snapshots are written as timestamped ``BENCH_<UTCSTAMP>.json`` files so
-a perf trajectory accumulates across commits.  ``--check`` compares a
-fresh snapshot against the committed baseline
-(``benchmarks/BENCH_baseline.json``): deterministic counters must match
-exactly; instrumentation-overhead *ratios* (metrics/off, full/off,
-detached/off) must stay within ``--tolerance`` of the baseline ratios.
-Absolute wall-clock times are recorded for the trajectory but never
-gated — they measure the CI machine, not the code.
+Snapshots are written as timestamped ``BENCH_<UTCSTAMP>.json`` files
+under ``benchmarks/`` (never the repo root) so a perf trajectory
+accumulates across commits.  ``--check`` compares a fresh snapshot
+against the committed baseline (``benchmarks/BENCH_baseline.json``):
+deterministic counters must match exactly; instrumentation-overhead
+*ratios* (metrics/off, full/off, detached/off) must stay within
+``--tolerance`` of the baseline ratios.  Absolute wall-clock times are
+recorded for the trajectory but never gated — they measure the CI
+machine, not the code.
+
+``--farm`` additionally measures the reactor farm
+(:mod:`repro.runtime.farm`): instance-spawn and event throughput with
+fleet telemetry attached vs detached, cross-instance reaction-latency
+percentiles, and resident bytes per instance beside the
+:mod:`repro.analysis.bounds` static prediction.  The farm section is
+recorded in the snapshot *and* as ``benchmarks/BENCH_farm.json``; it is
+never gated (yet) — the numbers seed the trajectory the compiled tier
+will be measured against.
 """
 
 from __future__ import annotations
@@ -42,9 +52,15 @@ from .sim.des import Simulator
 
 SCHEMA = 1
 
+#: every benchmark artifact lives here — snapshots, the baseline, the
+#: farm record; ``repro bench`` never writes into the repo root
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
 #: the committed regression baseline (see ``--update-baseline``)
-BASELINE_PATH = Path(__file__).resolve().parents[2] \
-    / "benchmarks" / "BENCH_baseline.json"
+BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
+
+#: the reactor-farm record (``--farm``; recorded, not gated)
+FARM_PATH = BENCH_DIR / "BENCH_farm.json"
 
 #: overhead ratios gated against the baseline.  The ``causal`` mode
 #: (CausalGraph subscribed) is *recorded* in snapshots but not gated:
@@ -55,6 +71,9 @@ RATIO_KEYS = ("metrics_vs_off", "full_vs_off", "detached_vs_off")
 TRAILS = 16
 EVENTS = 300
 DES_EVENTS = 20_000
+FARM_INSTANCES = 5_000
+FARM_SIM_US = 1_000_000
+FARM_MEM_SAMPLE = 500
 
 
 def make_fanout(n: int) -> str:
@@ -165,19 +184,117 @@ def bench_stream(tmpdir: Path, n_events: Optional[int] = None) -> dict:
     }
 
 
-def snapshot(repeats: int = 3) -> dict:
+def _farm_mode(source: str, n: int, sim_us: int,
+               observe: bool) -> tuple[dict, dict]:
+    """Spawn + drive one farm; returns (timings, fleet snapshot)."""
+    from .runtime.farm import Farm
+
+    start = time.perf_counter()
+    farm = Farm(source, n=n, program="blink", observe=observe)
+    spawn_s = time.perf_counter() - start
+    start = time.perf_counter()
+    farm.run_until(sim_us)
+    drive_s = time.perf_counter() - start
+    reactions = sum(inst.program.sched.reaction_count
+                    for inst in farm.instances)
+    timings = {
+        "spawn_s": spawn_s,
+        "drive_s": drive_s,
+        "instances_per_s": n / spawn_s if spawn_s else 0.0,
+        "reactions": reactions,
+        "events_per_s": reactions / drive_s if drive_s else 0.0,
+    }
+    return timings, farm.fleet_snapshot()
+
+
+def _farm_resident(source: str, n: int, observe: bool) -> float:
+    """Heap bytes per instance (tracemalloc delta over ``n`` spawns,
+    timers armed so the steady-state structures exist)."""
+    import gc
+    import tracemalloc
+
+    from .runtime.farm import Farm
+
+    gc.collect()
+    tracemalloc.start()
+    try:
+        farm = Farm(source, observe=observe)
+        farm.add_program("blink", source)
+        gc.collect()
+        base, _ = tracemalloc.get_traced_memory()
+        farm.spawn(n, program="blink")
+        gc.collect()
+        current, _ = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return (current - base) / n if n else 0.0
+
+
+def bench_farm(n_instances: Optional[int] = None,
+               sim_us: Optional[int] = None) -> dict:
+    """The reactor-farm section: spawn/drive throughput with telemetry
+    attached vs detached, cross-instance latency percentiles, and
+    resident bytes per instance beside the static-bounds prediction."""
+    from .apps import load
+
+    if n_instances is None:
+        n_instances = FARM_INSTANCES   # late-bound so tests can shrink it
+    if sim_us is None:
+        sim_us = FARM_SIM_US
+    source = load("blink")
+    attached, fleet = _farm_mode(source, n_instances, sim_us, True)
+    detached, _ = _farm_mode(source, n_instances, sim_us, False)
+    latency = fleet["merged"]["histograms"].get("reaction_latency_us", {})
+    mem_sample = min(FARM_MEM_SAMPLE, n_instances)
+    resident = {
+        "sample_instances": mem_sample,
+        "attached_bytes": _farm_resident(source, mem_sample, True),
+        "detached_bytes": _farm_resident(source, mem_sample, False),
+    }
+    from .analysis import compute_bounds
+    from .dfa import build_dfa
+    from .lang import parse
+    from .sema import bind
+
+    bound = bind(parse(source, "blink.ceu"))
+    bounds = compute_bounds(bound, build_dfa(bound))
+    return {
+        "workload": {"program": "blink", "instances": n_instances,
+                     "sim_us": sim_us},
+        "attached": attached,
+        "detached": detached,
+        "overhead": {
+            "attached_vs_detached_spawn":
+                attached["spawn_s"] / detached["spawn_s"]
+                if detached["spawn_s"] else 0.0,
+            "attached_vs_detached_drive":
+                attached["drive_s"] / detached["drive_s"]
+                if detached["drive_s"] else 0.0,
+        },
+        "latency_us": {k: latency.get(k)
+                       for k in ("p50", "p95", "p99", "mean", "max")},
+        "resident_bytes_per_instance": resident,
+        "bounds": bounds.as_dict(),
+        "counters": fleet["merged"]["counters"],
+    }
+
+
+def snapshot(repeats: int = 3, farm: bool = False) -> dict:
     """The full ``repro bench`` measurement (pure data, JSON-ready)."""
     import tempfile
 
     with tempfile.TemporaryDirectory(prefix="repro-bench-") as tmp:
         stream = bench_stream(Path(tmp))
-    return {
+    snap = {
         "schema": SCHEMA,
         "python": platform.python_version(),
         "machine": platform.machine(),
         "vm": bench_vm(repeats),
         "stream": stream,
     }
+    if farm:
+        snap["farm"] = bench_farm()
+    return snap
 
 
 def stamp() -> str:
@@ -240,14 +357,32 @@ def main(args) -> int:
     """``repro bench`` entry point (wired up in :mod:`repro.cli`)."""
     import sys
 
-    snap = snapshot(repeats=args.repeats)
-    out = write_snapshot(snap, Path(args.out))
+    with_farm = getattr(args, "farm", False)
+    snap = snapshot(repeats=args.repeats, farm=with_farm)
+    out_dir = Path(args.out) if args.out else BENCH_DIR
+    out_dir.mkdir(parents=True, exist_ok=True)
+    out = write_snapshot(snap, out_dir)
     vm = snap["vm"]
     print(f"wrote {out}")
     print(f"vm: {vm['reactions_per_s']:.0f} reactions/s off; ratios "
           + ", ".join(f"{k}={vm['ratios'][k]:.2f}" for k in RATIO_KEYS))
     print(f"stream: {snap['stream']['records_per_s']:.0f} records/s, "
           f"resident high {snap['stream']['resident_high']}")
+    if with_farm:
+        farm = snap["farm"]
+        farm_path = out_dir / FARM_PATH.name if args.out else FARM_PATH
+        farm_path.write_text(
+            json.dumps(farm, indent=2, sort_keys=True) + "\n")
+        att = farm["attached"]
+        print(f"wrote {farm_path}")
+        print(f"farm: {farm['workload']['instances']} instances, "
+              f"{att['instances_per_s']:.0f} spawns/s, "
+              f"{att['events_per_s']:.0f} reactions/s attached, "
+              f"p99 {farm['latency_us']['p99']} us, "
+              f"{farm['resident_bytes_per_instance']['attached_bytes']:.0f}"
+              f" B/instance "
+              f"(drive overhead "
+              f"{farm['overhead']['attached_vs_detached_drive']:.2f}x)")
     baseline_path = Path(args.baseline) if args.baseline \
         else BASELINE_PATH
     if args.update_baseline:
@@ -272,5 +407,5 @@ def main(args) -> int:
     return 0
 
 
-__all__ = ["SCHEMA", "bench_vm", "bench_stream", "snapshot",
+__all__ = ["SCHEMA", "bench_vm", "bench_stream", "bench_farm", "snapshot",
            "write_snapshot", "check_regression", "make_fanout"]

@@ -39,8 +39,14 @@ reproduction's analysis artifacts:
             (docs/FUZZING.md); ``--shrink`` minimises failures,
             ``--guided`` turns on coverage-guided seed scheduling
 ``bench``   benchmark snapshot (throughput, overhead ratios, latency
-            percentiles) as ``BENCH_<stamp>.json``; ``--check`` gates
-            against the committed baseline
+            percentiles) as ``benchmarks/BENCH_<stamp>.json``; ``--check``
+            gates against the committed baseline; ``--farm`` also measures
+            the reactor farm and records ``benchmarks/BENCH_farm.json``
+``farm``    run N instances of one program over the DES kernel with fleet
+            telemetry: per-instance metrics rolled up cross-instance
+            (``--stats``), Prometheus text exposition (``--prom``),
+            shared JSONL telemetry stream (``--jsonl``), and a
+            reaction-latency watchdog (docs/OBSERVABILITY.md)
 =========   =============================================================
 """
 
@@ -170,7 +176,7 @@ def cmd_run(args) -> int:
 
     source = _load(args.file)
     program = Program(source, filename=args.file, trace=args.trace,
-                      observe=args.stats)
+                      observe=args.stats or bool(args.prom))
     chrome = jsonl = None
     if args.trace_json:
         chrome = program.observe(
@@ -203,6 +209,12 @@ def cmd_run(args) -> int:
     if args.stats:
         print("--- stats ---", file=sys.stderr)
         print(render_stats(program.stats()), file=sys.stderr)
+    if args.prom:
+        from .obs import write_prom
+
+        n = write_prom(program.stats(), args.prom)
+        print(f"wrote {args.prom}: {n} exposition lines",
+              file=sys.stderr)
     if program.done:
         print(f"terminated, result = {program.result}", file=sys.stderr)
         return 0
@@ -401,6 +413,64 @@ def cmd_bench(args) -> int:
     return bench_main(args)
 
 
+def cmd_farm(args) -> int:
+    """N program instances over the DES kernel with fleet telemetry."""
+    from .obs import FlightRecorder, StreamingJsonlExporter, write_prom
+    from .runtime.farm import Farm
+
+    source = _load(args.file)
+    name = Path(args.file).stem or "prog"
+    stream = recorder = None
+    if args.jsonl:
+        stream = StreamingJsonlExporter(args.jsonl, flush_every=1024)
+    if args.flight_recorder:
+        recorder = FlightRecorder(args.flight_recorder)
+    farm = Farm(source, n=args.instances, program=name,
+                observe=not args.detached, stream=stream,
+                recorder=recorder)
+    if args.workload:
+        farm.run_script(_load_script(args.workload))
+    if args.until:
+        farm.run_until(parse_time(args.until))
+    elif not args.workload:
+        farm.run_until(parse_time("1s"))
+    snap = farm.fleet_snapshot()
+    report = farm.watchdog()
+    farm.close()
+    merged = snap["merged"]
+    reactions = merged["counters"].get("reactions_total", 0)
+    latency = merged["histograms"].get("reaction_latency_us", {})
+    print(f"{args.file}: {snap['instances']} live / {snap['spawned']} "
+          f"spawned instance(s) of {name}, now={snap['now_us']}us")
+    print(f"  reactions: {reactions}  sim events fired: "
+          f"{snap['sim']['events_fired']}")
+    if latency.get("p99") is not None:
+        print(f"  cross-instance reaction latency: "
+              f"p50={latency['p50']:.0f}us p95={latency['p95']:.0f}us "
+              f"p99={latency['p99']:.0f}us")
+    flagged = report["flagged"]
+    print(f"  watchdog: {len(flagged)} flagged"
+          + (f" — first: instance {flagged[0]['instance']} "
+             f"({flagged[0]['reason']})" if flagged else ""))
+    if args.stats:
+        print("--- fleet stats ---", file=sys.stderr)
+        print(render_stats(merged), file=sys.stderr)
+    if args.snapshot:
+        Path(args.snapshot).write_text(
+            json.dumps(snap, indent=2, sort_keys=True, default=repr)
+            + "\n")
+        print(f"wrote {args.snapshot}", file=sys.stderr)
+    if args.prom:
+        n = write_prom(snap, args.prom)
+        print(f"wrote {args.prom}: {n} exposition lines",
+              file=sys.stderr)
+    if stream is not None:
+        print(f"wrote {args.jsonl}: {stream.seq} events streamed "
+              f"(resident high {stream.resident_high}, "
+              f"{stream.rotations} rotation(s))", file=sys.stderr)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -452,6 +522,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None, metavar="N",
                    help="keep the last N hook events (default 4096) and "
                         "dump them to stderr if the run crashes")
+    p.add_argument("--prom", metavar="FILE",
+                   help="write the metrics snapshot as Prometheus text "
+                        "exposition (implies metrics collection)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -557,11 +630,43 @@ def build_parser() -> argparse.ArgumentParser:
                         "(.trace.json) here — CI uploads this directory")
     p.set_defaults(fn=cmd_fuzz)
 
+    p = sub.add_parser(
+        "farm",
+        help="run N program instances over the DES kernel with fleet "
+             "telemetry")
+    p.add_argument("file")
+    p.add_argument("-n", "--instances", type=int, default=1000,
+                   metavar="N", help="instance count (default 1000)")
+    p.add_argument("--until", metavar="TIME", default=None,
+                   help="drive the virtual clock to this time (µs or "
+                        "TIME literal; default 1s when no --workload)")
+    p.add_argument("--workload", metavar="SCRIPT",
+                   help="fuzz/witness-format stimulus script: 'E NAME "
+                        "[VALUE]' broadcasts to every instance, 'T US' "
+                        "advances the virtual clock")
+    p.add_argument("--stats", action="store_true",
+                   help="print the cross-instance fleet rollup")
+    p.add_argument("--snapshot", metavar="FILE",
+                   help="write the full fleet snapshot as JSON")
+    p.add_argument("--prom", metavar="FILE",
+                   help="write the fleet snapshot as Prometheus text "
+                        "exposition")
+    p.add_argument("--jsonl", metavar="FILE",
+                   help="stream every instance's hook events (tagged "
+                        "'inst') to FILE with bounded memory")
+    p.add_argument("--flight-recorder", type=int, nargs="?", const=4096,
+                   default=None, metavar="N",
+                   help="shared ring of the last N fleet events")
+    p.add_argument("--detached", action="store_true",
+                   help="skip per-instance metrics (overhead baseline; "
+                        "farm families and DES counters stay on)")
+    p.set_defaults(fn=cmd_farm)
+
     p = sub.add_parser("bench",
                        help="benchmark snapshot + perf regression gate")
-    p.add_argument("--out", default=".", metavar="DIR",
+    p.add_argument("--out", default=None, metavar="DIR",
                    help="directory for the timestamped BENCH_*.json "
-                        "(default: current directory)")
+                        "(default: benchmarks/)")
     p.add_argument("--repeats", type=int, default=3,
                    help="best-of-N timing repeats (default 3)")
     p.add_argument("--check", action="store_true",
@@ -574,6 +679,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="relative slack for overhead ratios (default 0.5)")
     p.add_argument("--update-baseline", action="store_true",
                    help="write this snapshot as the new baseline")
+    p.add_argument("--farm", action="store_true",
+                   help="also measure the reactor farm (attached vs "
+                        "detached; recorded as benchmarks/BENCH_farm.json"
+                        ", never gated)")
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -10,16 +10,23 @@ from .coverage import (CoverageMap, DfaEdgeCoverage, collect_coverage,
                        coverage_signature)
 from .debug import TimeTravelDebugger
 from .export import ChromeTraceExporter, JsonlExporter
+from .fleet import (CounterFamily, FleetRegistry, GaugeFamily,
+                    HistogramFamily, merge_histogram,
+                    merge_histogram_snapshots, merge_snapshots)
 from .hooks import HOOK_EVENTS, EventLog, HookBus, HookSubscriber
 from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
                       MetricsRegistry, render_stats)
 from .profile import Profiler
+from .prom import render_prom, write_prom
 from .stream import FlightRecorder, StreamingJsonlExporter
 
 __all__ = [
     "HOOK_EVENTS", "HookBus", "HookSubscriber", "EventLog",
     "Counter", "Gauge", "Histogram", "MetricsRegistry",
     "MetricsCollector", "render_stats",
+    "CounterFamily", "GaugeFamily", "HistogramFamily", "FleetRegistry",
+    "merge_histogram", "merge_histogram_snapshots", "merge_snapshots",
+    "render_prom", "write_prom",
     "ChromeTraceExporter", "JsonlExporter",
     "StreamingJsonlExporter", "FlightRecorder", "Profiler",
     "CausalGraph", "CausalNode", "TimeTravelDebugger",

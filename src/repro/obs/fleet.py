@@ -1,0 +1,267 @@
+"""Fleet metrics: labelled metric families and cross-instance rollup.
+
+A single :class:`~repro.obs.metrics.MetricsRegistry` describes one
+program instance.  A *farm* (:mod:`repro.runtime.farm`) runs thousands,
+so this module adds the two missing pieces:
+
+* **labelled families** — :class:`CounterFamily` / :class:`GaugeFamily`
+  / :class:`HistogramFamily` key one logical metric by a tuple of label
+  values (``instance``, ``program``, ``trigger``, …).  The hot path is
+  one dict lookup returning the same plain-int ``Counter`` / ``Gauge`` /
+  ``Histogram`` objects :mod:`repro.obs.metrics` uses everywhere, so a
+  labelled bump costs what an unlabelled one does plus the lookup;
+
+* **rollup** — :func:`merge_snapshots` folds N per-instance registry
+  snapshots into one fleet snapshot: counters sum, gauges aggregate
+  (sum of values, min of mins, max of maxes), and histograms merge
+  bucket-by-bucket so the result yields true **cross-instance
+  percentiles** (the p99 over every reaction on every instance, not an
+  average of per-instance p99s).
+
+Everything stays pure data: a family snapshot is a nested dict of
+primitives, directly JSON-serialisable and renderable by
+:func:`repro.obs.prom.render_prom`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .metrics import POW2_BUCKETS, Counter, Gauge, Histogram
+
+LabelValues = tuple
+
+
+def _label_key(values: Sequence) -> tuple:
+    return tuple(str(v) for v in values)
+
+
+class _Family:
+    """One named metric, many label-keyed children.
+
+    ``labels(*values)`` is the hot path: a single dict lookup when the
+    series exists, lazy creation when it does not.  ``values`` must match
+    ``labelnames`` positionally.
+    """
+
+    __slots__ = ("name", "labelnames", "children")
+
+    kind = "untyped"
+
+    def __init__(self, name: str, labelnames: Sequence[str]):
+        self.name = name
+        self.labelnames = tuple(labelnames)
+        self.children: dict[tuple, object] = {}
+
+    def labels(self, *values):
+        key = _label_key(values)
+        child = self.children.get(key)
+        if child is None:
+            if len(key) != len(self.labelnames):
+                raise ValueError(
+                    f"family {self.name!r} takes {len(self.labelnames)} "
+                    f"label(s) {self.labelnames}, got {len(key)}")
+            child = self.children[key] = self._make()
+        return child
+
+    def _make(self):  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def _value(self, child) -> object:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+    def series(self) -> list[tuple[tuple, object]]:
+        """Sorted ``(label_values, child)`` pairs."""
+        return sorted(self.children.items())
+
+    def snapshot(self) -> dict:
+        return {
+            "kind": self.kind,
+            "labels": list(self.labelnames),
+            "series": [[list(key), self._value(child)]
+                       for key, child in self.series()],
+        }
+
+
+class CounterFamily(_Family):
+    """``Counter`` per label tuple."""
+
+    kind = "counter"
+
+    def _make(self) -> Counter:
+        return Counter()
+
+    def _value(self, child: Counter) -> int:
+        return child.value
+
+    def total(self) -> int:
+        return sum(c.value for c in self.children.values())
+
+
+class GaugeFamily(_Family):
+    """``Gauge`` per label tuple."""
+
+    kind = "gauge"
+
+    def _make(self) -> Gauge:
+        return Gauge()
+
+    def _value(self, child: Gauge) -> dict:
+        return {"value": child.value, "min": child.min, "max": child.max}
+
+
+class HistogramFamily(_Family):
+    """``Histogram`` per label tuple (shared bucket bounds)."""
+
+    __slots__ = ("bounds",)
+
+    kind = "histogram"
+
+    def __init__(self, name: str, labelnames: Sequence[str],
+                 bounds: Sequence[int] = POW2_BUCKETS):
+        super().__init__(name, labelnames)
+        self.bounds = tuple(bounds)
+
+    def _make(self) -> Histogram:
+        return Histogram(self.bounds)
+
+    def _value(self, child: Histogram) -> dict:
+        return child.snapshot()
+
+    def aggregate(self) -> Histogram:
+        """Merge every series into one histogram (cross-series
+        percentiles come from its bucket counts)."""
+        merged = Histogram(self.bounds)
+        for child in self.children.values():
+            merge_histogram(merged, child)
+        return merged
+
+
+class FleetRegistry:
+    """Named labelled families, lazily created — the fleet-level
+    analogue of :class:`~repro.obs.metrics.MetricsRegistry`.
+
+    Re-requesting a family checks the label schema, so two call sites
+    cannot silently create incompatible series under one name.
+    """
+
+    def __init__(self) -> None:
+        self.families: dict[str, _Family] = {}
+
+    def _family(self, cls, name: str, labelnames: Sequence[str],
+                **kwargs) -> _Family:
+        fam = self.families.get(name)
+        if fam is None:
+            fam = self.families[name] = cls(name, labelnames, **kwargs)
+            return fam
+        if not isinstance(fam, cls) or fam.labelnames != tuple(labelnames):
+            raise ValueError(
+                f"family {name!r} already registered as {fam.kind} with "
+                f"labels {fam.labelnames}")
+        return fam
+
+    def counter_family(self, name: str,
+                       labelnames: Sequence[str]) -> CounterFamily:
+        return self._family(CounterFamily, name, labelnames)
+
+    def gauge_family(self, name: str,
+                     labelnames: Sequence[str]) -> GaugeFamily:
+        return self._family(GaugeFamily, name, labelnames)
+
+    def histogram_family(self, name: str, labelnames: Sequence[str],
+                         bounds: Sequence[int] = POW2_BUCKETS
+                         ) -> HistogramFamily:
+        return self._family(HistogramFamily, name, labelnames,
+                            bounds=bounds)
+
+    def snapshot(self) -> dict:
+        return {name: fam.snapshot()
+                for name, fam in sorted(self.families.items())}
+
+
+# ------------------------------------------------------------------ merge
+def merge_histogram(into: Histogram, other: Histogram) -> Histogram:
+    """Fold ``other`` into ``into`` bucket-by-bucket (bounds must match)."""
+    if into.bounds != other.bounds:
+        raise ValueError(f"histogram bounds differ: {into.bounds} vs "
+                         f"{other.bounds}")
+    for i, c in enumerate(other.counts):
+        into.counts[i] += c
+    into.count += other.count
+    into.total += other.total
+    if other.min is not None and (into.min is None or other.min < into.min):
+        into.min = other.min
+    if other.max is not None and (into.max is None or other.max > into.max):
+        into.max = other.max
+    return into
+
+
+def _histogram_from_snapshot(snap: dict) -> Histogram:
+    """Rehydrate a :meth:`Histogram.snapshot` dict (buckets carry the
+    bounds, so no out-of-band schema is needed)."""
+    bounds = tuple(b for b, _ in snap["buckets"] if b != "inf")
+    h = Histogram(bounds)
+    h.counts = [c for _, c in snap["buckets"]]
+    h.count = snap["count"]
+    h.total = snap["sum"]
+    h.min = snap["min"]
+    h.max = snap["max"]
+    return h
+
+
+def merge_histogram_snapshots(snaps: Sequence[dict]) -> dict:
+    """Merge N histogram snapshots; percentiles are recomputed from the
+    merged buckets, so they are true cross-instance percentiles."""
+    merged: Optional[Histogram] = None
+    for snap in snaps:
+        h = _histogram_from_snapshot(snap)
+        if merged is None:
+            merged = h
+        else:
+            merge_histogram(merged, h)
+    return merged.snapshot() if merged is not None else Histogram().snapshot()
+
+
+def merge_snapshots(snaps: Sequence[dict]) -> dict:
+    """Roll N :meth:`MetricsRegistry.snapshot` dicts up into one.
+
+    * counters — summed;
+    * gauges — ``value`` summed (fleet occupancy), ``min``/``max``
+      folded across instances (a pre-``min`` snapshot contributes its
+      value);
+    * histograms — bucket-merged via :func:`merge_histogram_snapshots`.
+
+    The result has the exact shape of a single-instance snapshot plus an
+    ``instances`` count, so every renderer (``render_stats``,
+    ``render_prom``) works on it unchanged.
+    """
+    counters: dict[str, int] = {}
+    gauges: dict[str, dict] = {}
+    histograms: dict[str, list[dict]] = {}
+    for snap in snaps:
+        for name, value in snap.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, g in snap.get("gauges", {}).items():
+            agg = gauges.get(name)
+            gmin = g.get("min", g["value"])
+            if agg is None:
+                gauges[name] = {"value": g["value"], "min": gmin,
+                                "max": g["max"]}
+            else:
+                agg["value"] += g["value"]
+                agg["min"] = min(agg["min"], gmin)
+                agg["max"] = max(agg["max"], g["max"])
+        for name, h in snap.get("histograms", {}).items():
+            histograms.setdefault(name, []).append(h)
+    return {
+        "instances": len(snaps),
+        "counters": dict(sorted(counters.items())),
+        "gauges": dict(sorted(gauges.items())),
+        "histograms": {name: merge_histogram_snapshots(parts)
+                       for name, parts in sorted(histograms.items())},
+    }
+
+
+__all__ = ["CounterFamily", "GaugeFamily", "HistogramFamily",
+           "FleetRegistry", "merge_histogram",
+           "merge_histogram_snapshots", "merge_snapshots"]

@@ -31,18 +31,32 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value; remembers its high-water mark."""
+    """A point-in-time value; remembers its high- and low-water marks.
 
-    __slots__ = ("value", "max")
+    Occupancy-style gauges (live instances, queued events) move by
+    deltas — :meth:`inc`/:meth:`dec` keep that a single call instead of
+    a read-modify-``set()`` at every site.
+    """
+
+    __slots__ = ("value", "max", "min")
 
     def __init__(self) -> None:
         self.value = 0
         self.max = 0
+        self.min = 0
 
     def set(self, value) -> None:
         self.value = value
         if value > self.max:
             self.max = value
+        if value < self.min:
+            self.min = value
+
+    def inc(self, n: int = 1) -> None:
+        self.set(self.value + n)
+
+    def dec(self, n: int = 1) -> None:
+        self.set(self.value - n)
 
 
 class Histogram:
@@ -150,7 +164,7 @@ class MetricsRegistry:
         return {
             "counters": {k: c.value
                          for k, c in sorted(self.counters.items())},
-            "gauges": {k: {"value": g.value, "max": g.max}
+            "gauges": {k: {"value": g.value, "min": g.min, "max": g.max}
                        for k, g in sorted(self.gauges.items())},
             "histograms": {k: h.snapshot()
                            for k, h in sorted(self.histograms.items())},

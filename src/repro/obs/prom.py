@@ -1,0 +1,205 @@
+"""Prometheus text exposition (version 0.0.4) for metric snapshots.
+
+:func:`render_prom` turns any registry snapshot — a single instance's
+:meth:`~repro.obs.metrics.MetricsRegistry.snapshot`, a fleet rollup from
+:func:`~repro.obs.fleet.merge_snapshots`, or a
+:class:`~repro.obs.fleet.FleetRegistry` family snapshot — into the
+``# TYPE`` / sample-line format every Prometheus-compatible scraper
+(Prometheus, VictoriaMetrics, Grafana Agent, ``promtool check metrics``)
+ingests.  No HTTP server is shipped: the CLI writes the exposition to a
+file (``repro run --prom`` / ``repro farm --prom``) for the textfile
+collector, and the function is trivially servable by any WSGI handler.
+
+Mapping rules:
+
+* names are sanitised to ``[a-zA-Z_:][a-zA-Z0-9_:]*`` and prefixed
+  (default ``repro_``);
+* the registry's dotted dynamic counters (``reactions_by_trigger.X``,
+  ``awaits_by_target.Y``, ``emits_by_event.Z``) become one family with
+  a label derived from the ``_by_<label>`` suffix:
+  ``repro_reactions_by_trigger_total{trigger="X"}``;
+* gauges emit ``value`` plus ``_min``/``_max`` watermark series;
+* histograms emit cumulative ``_bucket{le=…}`` lines, ``_sum`` and
+  ``_count`` — percentile estimation moves to the scraper's
+  ``histogram_quantile``, which sees exactly the buckets the in-process
+  estimator used.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _sanitize(name: str) -> str:
+    clean = _NAME_OK.sub("_", name)
+    if clean and clean[0].isdigit():
+        clean = "_" + clean
+    return clean
+
+
+def _escape(value: str) -> str:
+    return (value.replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _labels(names: Sequence[str], values: Sequence) -> str:
+    if not names:
+        return ""
+    inner = ",".join(f'{_sanitize(n)}="{_escape(str(v))}"'
+                     for n, v in zip(names, values))
+    return "{" + inner + "}"
+
+
+def _num(value) -> str:
+    if value is None:
+        return "NaN"
+    if value != value:  # NaN
+        return "NaN"
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, float):
+        return repr(value)
+    return str(value)
+
+
+def _split_dynamic(name: str) -> Optional[tuple[str, str, str]]:
+    """``reactions_by_trigger.event:A`` → (family, label name, value)."""
+    if "." not in name:
+        return None
+    family, value = name.split(".", 1)
+    if "_by_" not in family:
+        return None
+    label = family.rsplit("_by_", 1)[1]
+    return family, label, value
+
+
+class _Writer:
+    def __init__(self, prefix: str):
+        self.prefix = prefix
+        self.lines: list[str] = []
+        self._typed: set[str] = set()
+
+    def type_line(self, name: str, kind: str, help_text: str = "") -> None:
+        if name in self._typed:
+            return
+        self._typed.add(name)
+        if help_text:
+            self.lines.append(f"# HELP {name} {help_text}")
+        self.lines.append(f"# TYPE {name} {kind}")
+
+    def sample(self, name: str, labels: str, value) -> None:
+        self.lines.append(f"{name}{labels} {_num(value)}")
+
+    def counter(self, name: str, value, labelnames=(), labelvalues=()):
+        full = self.prefix + _sanitize(name)
+        self.type_line(full, "counter")
+        self.sample(full, _labels(labelnames, labelvalues), value)
+
+    def gauge(self, name: str, g: dict, labelnames=(), labelvalues=()):
+        full = self.prefix + _sanitize(name)
+        self.type_line(full, "gauge")
+        labels = _labels(labelnames, labelvalues)
+        self.sample(full, labels, g["value"])
+        for mark in ("min", "max"):
+            if mark in g:
+                self.type_line(f"{full}_{mark}", "gauge")
+                self.sample(f"{full}_{mark}", labels, g[mark])
+
+    def histogram(self, name: str, h: dict, labelnames=(), labelvalues=()):
+        full = self.prefix + _sanitize(name)
+        self.type_line(full, "histogram")
+        cum = 0
+        for bound, count in h["buckets"]:
+            cum += count
+            le = "+Inf" if bound == "inf" else str(bound)
+            labels = _labels(tuple(labelnames) + ("le",),
+                             tuple(labelvalues) + (le,))
+            self.sample(f"{full}_bucket", labels, cum)
+        labels = _labels(labelnames, labelvalues)
+        self.sample(f"{full}_sum", labels, h["sum"])
+        self.sample(f"{full}_count", labels, h["count"])
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+
+def _render_registry(w: _Writer, snap: dict) -> None:
+    # the scheduler's always-on ``runtime`` block (``program.stats()``)
+    # exports as gauges under a ``runtime_`` prefix — several keys
+    # (``live_trails`` …) also exist as sampled registry gauges and
+    # duplicate sample names are illegal in an exposition
+    for name, value in snap.get("runtime", {}).items():
+        if isinstance(value, (int, float)):
+            w.gauge(f"runtime_{name}", {"value": value})
+    for name, value in snap.get("counters", {}).items():
+        dynamic = _split_dynamic(name)
+        if dynamic is not None:
+            family, label, labelvalue = dynamic
+            w.counter(family + "_total", value, (label,), (labelvalue,))
+        else:
+            w.counter(name, value)
+    for name, g in snap.get("gauges", {}).items():
+        w.gauge(name, g)
+    for name, h in snap.get("histograms", {}).items():
+        w.histogram(name, h)
+
+
+def _render_families(w: _Writer, families: dict) -> None:
+    for name, fam in families.items():
+        labelnames = fam.get("labels", [])
+        for labelvalues, value in fam.get("series", []):
+            if fam["kind"] == "counter":
+                w.counter(name, value, labelnames, labelvalues)
+            elif fam["kind"] == "gauge":
+                w.gauge(name, value, labelnames, labelvalues)
+            else:
+                w.histogram(name, value, labelnames, labelvalues)
+
+
+def render_prom(snapshot: dict, prefix: str = "repro_") -> str:
+    """Render a snapshot as Prometheus text exposition.
+
+    Accepts (and auto-detects) any of:
+
+    * a registry snapshot (``counters``/``gauges``/``histograms`` keys),
+      including the fleet rollup from
+      :func:`~repro.obs.fleet.merge_snapshots` (its ``instances`` count
+      becomes a gauge);
+    * a :meth:`FleetRegistry.snapshot` family dict (every value carries
+      a ``kind``);
+    * a farm fleet snapshot holding both (``merged`` + ``farm`` keys,
+      see :meth:`repro.runtime.farm.Farm.fleet_snapshot`).
+    """
+    w = _Writer(prefix)
+    if "merged" in snapshot or "farm" in snapshot:
+        if snapshot.get("instances") is not None:
+            w.gauge("farm_instances", {"value": snapshot["instances"]})
+        _render_families(w, snapshot.get("farm", {}))
+        _render_registry(w, snapshot.get("merged", {}))
+        return w.text()
+    if any(k in snapshot for k in ("counters", "gauges", "histograms")):
+        if snapshot.get("instances") is not None:
+            w.gauge("instances", {"value": snapshot["instances"]})
+        _render_registry(w, snapshot)
+        return w.text()
+    if all(isinstance(v, dict) and "kind" in v
+           for v in snapshot.values()) and snapshot:
+        _render_families(w, snapshot)
+        return w.text()
+    raise ValueError("not a metrics snapshot: expected registry, fleet "
+                     "rollup, or family snapshot")
+
+
+def write_prom(snapshot: dict, path, prefix: str = "repro_") -> int:
+    """Write the exposition to ``path`` (textfile-collector style);
+    returns the number of sample/metadata lines written."""
+    text = render_prom(snapshot, prefix=prefix)
+    with open(path, "w") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+__all__ = ["render_prom", "write_prom"]

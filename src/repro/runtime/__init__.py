@@ -2,6 +2,7 @@
 paper's `ceu_go_*` API (§4.5) plus a high-level `Program` facade."""
 
 from .cenv import CAssertionError, CEnv, Rand
+from .farm import Farm, Instance
 from .program import Program, parse_time
 from .scheduler import RUNNING, TERMINATED, Scheduler
 from .trace import Reaction, Step, Trace
@@ -9,4 +10,4 @@ from .values import CellRef, FuncRef, ItemRef, Ref
 
 __all__ = ["Program", "parse_time", "Scheduler", "RUNNING", "TERMINATED",
            "CEnv", "CAssertionError", "Rand", "Trace", "Reaction", "Step",
-           "Ref", "CellRef", "ItemRef", "FuncRef"]
+           "Ref", "CellRef", "ItemRef", "FuncRef", "Farm", "Instance"]

@@ -1,0 +1,424 @@
+"""The reactor farm: thousands of program instances, one process.
+
+Céu reactions are run-to-completion and programs are tiny, which is
+exactly the shape of a multi-tenant event server.  :class:`Farm`
+multiplexes N instances — same or different programs — over the DES
+kernel (:class:`~repro.sim.des.Simulator`):
+
+* the program is parsed/bound/analysed **once** and every instance runs
+  the shared :class:`~repro.sema.binder.BoundProgram` (compilation is
+  amortised across the fleet);
+* each instance keeps its own VM clock, offset by its spawn time, and
+  the farm arms exactly one calendar entry per instance — the earliest
+  pending deadline — re-armed after every drive, so calendar pressure is
+  O(instances), not O(armed timers);
+* external events flow through **per-instance queues** realised on the
+  calendar (:meth:`send` / :meth:`broadcast`), delivered in
+  deterministic ``(time, seq)`` order;
+* every instance's hook bus can feed **one shared telemetry pipeline**:
+  per-instance :class:`~repro.obs.metrics.MetricsRegistry` collectors,
+  plus a :class:`~repro.obs.stream.StreamingJsonlExporter` and/or
+  :class:`~repro.obs.stream.FlightRecorder` receiving every instance's
+  events (tagged ``"inst"``) under one global ``seq``;
+* farm-level occurrences the per-instance registries cannot see live in
+  a :class:`~repro.obs.fleet.FleetRegistry` of labelled families —
+  instances spawned/retired/live, queued and delivered events, output
+  emits, stubbed C calls, watchdog flags;
+* :meth:`fleet_snapshot` rolls every per-instance registry up via
+  :func:`~repro.obs.fleet.merge_snapshots` (cross-instance latency
+  percentiles included) and :meth:`watchdog` flags stuck or lagging
+  instances from those histograms.
+
+Undefined C symbols (``_Leds_led0Toggle`` and friends) resolve to
+counting no-op stubs by default — any platform-flavoured program runs
+unmodified, and the calls surface as ``farm_c_calls_total{symbol=…}``.
+Pass ``cenv_factory`` to bind real services instead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional, Union
+
+from ..lang import ast
+from ..lang.errors import RuntimeCeuError
+from ..lang.parser import parse
+from ..obs.fleet import FleetRegistry, merge_histogram, merge_snapshots
+from ..obs.hooks import HOOK_EVENTS, HookSubscriber
+from ..obs.metrics import Histogram
+from ..obs.stream import FlightRecorder, StreamingJsonlExporter
+from ..obs.export import jsonl_line, jsonl_record
+from ..sema.binder import BoundProgram, bind
+from ..sema.bounded import check_bounded
+from ..sim.des import Simulator
+from .cenv import CEnv
+from .program import Program, parse_time
+
+
+class _StubCEnv(CEnv):
+    """A :class:`CEnv` that turns undefined C symbols into counting
+    no-op stubs (shared across the fleet via ``calls``)."""
+
+    def __init__(self, calls) -> None:
+        super().__init__()
+        self._calls = calls
+
+    def lookup(self, name: str) -> Any:
+        try:
+            return super().lookup(name)
+        except RuntimeCeuError:
+            counter = self._calls.labels(name)
+
+            def stub(*args, _c=counter):
+                _c.inc()
+                return 0
+
+            self.define(name, stub)
+            return stub
+
+
+class InstanceTap(HookSubscriber):
+    """Forwards one instance's hook events into the farm's shared line
+    sinks, tagging each record with the instance id.
+
+    Each sink keeps its own global ``seq`` across every instance, so the
+    merged stream carries true fleet-wide ordering — the farm's exact
+    interleaved-writers usage of the streaming exporter.
+    """
+
+    __slots__ = ("sinks", "instance")
+
+    def __init__(self, sinks, instance: int):
+        self.sinks = sinks
+        self.instance = instance
+
+
+def _tap(event: str, fields: tuple[str, ...]) -> Callable:
+    def record(self, *args) -> None:
+        for sink in self.sinks:
+            rec = jsonl_record(event, fields, args, sink.seq)
+            rec["inst"] = self.instance
+            sink.seq += 1
+            sink._line(jsonl_line(rec))
+
+    record.__name__ = f"on_{event}"
+    return record
+
+
+for _name, _fields in HOOK_EVENTS.items():
+    setattr(InstanceTap, f"on_{_name}", _tap(_name, _fields))
+del _name, _fields
+
+
+class Instance:
+    """One live program in the farm."""
+
+    __slots__ = ("index", "program_name", "program", "t0", "handle",
+                 "armed_deadline", "alive")
+
+    def __init__(self, index: int, program_name: str, program: Program,
+                 t0: int):
+        self.index = index
+        self.program_name = program_name
+        self.program = program
+        self.t0 = t0                     # sim time of spawn (clock offset)
+        self.handle: Optional[int] = None
+        self.armed_deadline: Optional[int] = None   # in sim time
+        self.alive = True
+
+    def local(self, sim_now: int) -> int:
+        """Translate simulator time into this instance's VM clock."""
+        return sim_now - self.t0
+
+
+class Farm:
+    """N bound program instances multiplexed over one DES calendar.
+
+    >>> farm = Farm(load("blink"), n=1000, program="blink")
+    >>> farm.run_until("1s")
+    >>> snap = farm.fleet_snapshot()
+    >>> snap["merged"]["counters"]["reactions_total"]
+    4000
+    """
+
+    def __init__(self, source: Union[str, ast.Program, BoundProgram,
+                                     None] = None,
+                 n: int = 0, *, program: str = "prog",
+                 sim: Optional[Simulator] = None, observe: bool = True,
+                 stream: Optional[StreamingJsonlExporter] = None,
+                 recorder: Optional[FlightRecorder] = None,
+                 cenv_factory: Optional[Callable[[], CEnv]] = None,
+                 check: bool = True):
+        self.sim = sim if sim is not None else Simulator()
+        self.observe = observe
+        self.check = check
+        self.cenv_factory = cenv_factory
+        self.stream = stream
+        self.recorder = recorder
+        self._sinks = [s for s in (stream, recorder) if s is not None]
+
+        self.programs: dict[str, BoundProgram] = {}
+        self.instances: list[Instance] = []
+
+        self.fleet = FleetRegistry()
+        self._spawned = self.fleet.counter_family(
+            "farm_instances_spawned_total", ("program",))
+        self._retired = self.fleet.counter_family(
+            "farm_instances_retired_total", ("program",))
+        self._live_gauge = self.fleet.gauge_family(
+            "farm_instances_live", ("program",))
+        self._queued = self.fleet.gauge_family(
+            "farm_queued_events", ("program",))
+        self._events = self.fleet.counter_family(
+            "farm_events_total", ("program", "event"))
+        self._dropped = self.fleet.counter_family(
+            "farm_events_dropped_total", ("program", "event"))
+        self._outputs = self.fleet.counter_family(
+            "farm_outputs_total", ("program", "event"))
+        self._c_calls = self.fleet.counter_family(
+            "farm_c_calls_total", ("symbol",))
+        self._flags = self.fleet.counter_family(
+            "farm_watchdog_flags_total", ("reason",))
+
+        if source is not None:
+            self.add_program(program, source)
+            if n:
+                self.spawn(n, program=program)
+
+    # --------------------------------------------------------------- fleet
+    def add_program(self, name: str, source: Union[str, ast.Program,
+                                                   BoundProgram]) -> None:
+        """Bind (and bound-check) a program once for the whole fleet."""
+        if isinstance(source, str):
+            bound = bind(parse(source, f"<farm:{name}>"))
+        elif isinstance(source, ast.Program):
+            bound = bind(source)
+        else:
+            bound = source
+        if self.check:
+            check_bounded(bound)
+        self.programs[name] = bound
+
+    def spawn(self, n: int = 1, program: Optional[str] = None
+              ) -> list[Instance]:
+        """Create and boot ``n`` instances at the current virtual time."""
+        if program is None:
+            if len(self.programs) != 1:
+                raise ValueError("program= is required when the farm "
+                                 "holds several programs")
+            program = next(iter(self.programs))
+        bound = self.programs[program]
+        born = []
+        for _ in range(n):
+            index = len(self.instances)
+            cenv = (self.cenv_factory() if self.cenv_factory is not None
+                    else _StubCEnv(self._c_calls))
+            prog = Program(bound, cenv=cenv, observe=self.observe,
+                           check=False)
+            prog.sched.output_handler = self._output_handler(program)
+            if self._sinks:
+                prog.observe(InstanceTap(self._sinks, index))
+            inst = Instance(index, program, prog, self.sim.now)
+            self.instances.append(inst)
+            self._spawned.labels(program).inc()
+            self._live_gauge.labels(program).inc()
+            prog.start()
+            self._post_drive(inst)
+            born.append(inst)
+        return born
+
+    def _output_handler(self, program: str) -> Callable[[str, Any], None]:
+        outputs = self._outputs
+
+        def on_output(name: str, value: Any) -> None:
+            outputs.labels(program, name).inc()
+
+        return on_output
+
+    def live(self) -> int:
+        return sum(1 for inst in self.instances if inst.alive)
+
+    # ------------------------------------------------------------ calendar
+    def _arm(self, inst: Instance) -> None:
+        """(Re-)arm the instance's single calendar entry at its earliest
+        pending deadline."""
+        nd = inst.program.sched.next_deadline()
+        if nd is None:
+            if inst.handle is not None:
+                self.sim.cancel(inst.handle)
+                inst.handle = None
+                inst.armed_deadline = None
+            return
+        at = max(nd + inst.t0, self.sim.now)
+        if inst.armed_deadline == at and inst.handle is not None:
+            return
+        if inst.handle is not None:
+            self.sim.cancel(inst.handle)
+        inst.armed_deadline = at
+        inst.handle = self.sim.at(at, lambda: self._fire(inst))
+
+    def _fire(self, inst: Instance) -> None:
+        inst.handle = None
+        inst.armed_deadline = None
+        if not inst.alive:
+            return
+        inst.program.at(inst.local(self.sim.now))
+        self._post_drive(inst)
+
+    def _post_drive(self, inst: Instance) -> None:
+        if inst.program.done:
+            self._retire(inst)
+        else:
+            self._arm(inst)
+
+    def _retire(self, inst: Instance) -> None:
+        if not inst.alive:
+            return
+        inst.alive = False
+        if inst.handle is not None:
+            self.sim.cancel(inst.handle)
+            inst.handle = None
+        self._retired.labels(inst.program_name).inc()
+        self._live_gauge.labels(inst.program_name).dec()
+
+    # -------------------------------------------------------------- events
+    def send(self, index: int, event: str, value: Any = None,
+             at: Optional[int] = None) -> None:
+        """Queue one external event for one instance (delivered via the
+        calendar at ``at``, default: the current virtual time)."""
+        inst = self.instances[index]
+        queued = self._queued.labels(inst.program_name)
+        queued.inc()
+
+        def deliver() -> None:
+            queued.dec()
+            if not inst.alive or inst.program.done:
+                self._dropped.labels(inst.program_name, event).inc()
+                return
+            inst.program.at(inst.local(self.sim.now))
+            inst.program.send(event, value)
+            self._events.labels(inst.program_name, event).inc()
+            self._post_drive(inst)
+
+        self.sim.at(self.sim.now if at is None else at, deliver)
+
+    def broadcast(self, event: str, value: Any = None,
+                  at: Optional[int] = None) -> None:
+        """Queue one event for every live instance."""
+        for inst in self.instances:
+            if inst.alive:
+                self.send(inst.index, event, value, at=at)
+
+    # ------------------------------------------------------------- driving
+    def run_until(self, spec: Union[int, str]) -> None:
+        """Drive the calendar (deliveries + timer wakeups) to a virtual
+        time, then align every live instance's clock with it."""
+        t = parse_time(spec)
+        self.sim.run_until(t)
+        for inst in self.instances:
+            if inst.alive and not inst.program.done:
+                inst.program.at(inst.local(t))
+                self._post_drive(inst)
+
+    def run_script(self, script) -> None:
+        """Apply a fuzz/witness-format stimulus script to the fleet:
+        ``("E", name, value)`` broadcasts, ``("T", us)`` advances the
+        calendar to an absolute virtual time."""
+        for item in script:
+            if item[0] == "E":
+                self.broadcast(item[1], item[2])
+                self.sim.run_until(self.sim.now)
+            else:
+                self.run_until(item[1])
+
+    # ------------------------------------------------------------ watchdog
+    def watchdog(self, factor: float = 4.0, min_count: int = 8,
+                 min_lag_us: float = 1000.0) -> dict:
+        """Flag stuck or lagging instances.
+
+        * **lagging** — the instance's *median* reaction latency exceeds
+          ``factor`` × the fleet-wide median AND the ``min_lag_us``
+          absolute floor (from the ``reaction_latency_us`` histograms;
+          medians so one GC pause or scheduler blip cannot flag a
+          healthy instance — a lagging instance is *consistently* slow;
+          instances with fewer than ``min_count`` reactions are skipped
+          as statistically silent, and the floor keeps sub-millisecond
+          jitter from flagging a fleet whose baseline is tens of µs);
+        * **stuck** — the instance still owes work at the current
+          virtual time: a pending deadline or queued input it never
+          drained (a correctly driven farm has neither).
+
+        Each flag bumps ``farm_watchdog_flags_total{reason=…}``.
+        """
+        flagged: list[dict] = []
+        fleet_p50 = fleet_p99 = None
+        per_instance: list[tuple[Instance, Optional[Histogram]]] = []
+        if self.observe:
+            hists = []
+            for inst in self.instances:
+                h = inst.program.sched.metrics.histograms.get(
+                    "reaction_latency_us")
+                per_instance.append((inst, h))
+                if h is not None and h.count:
+                    hists.append(h)
+            if hists:
+                merged = Histogram(hists[0].bounds)
+                for h in hists:
+                    merge_histogram(merged, h)
+                fleet_p50 = merged.percentile(50)
+                fleet_p99 = merged.percentile(99)
+        for inst, h in per_instance:
+            if (fleet_p50 and h is not None and h.count >= min_count):
+                p50 = h.percentile(50)
+                if p50 is not None and p50 > max(factor * fleet_p50,
+                                                 min_lag_us):
+                    self._flags.labels("lagging").inc()
+                    flagged.append({"instance": inst.index,
+                                    "reason": "lagging",
+                                    "p50_us": p50,
+                                    "fleet_p50_us": fleet_p50})
+        for inst in self.instances:
+            if not inst.alive or inst.program.done:
+                continue
+            sched = inst.program.sched
+            nd = sched.next_deadline()
+            overdue = nd is not None and nd + inst.t0 < self.sim.now \
+                and inst.handle is None
+            backlog = bool(sched.input_queue)
+            if overdue or backlog:
+                self._flags.labels("stuck").inc()
+                flagged.append({"instance": inst.index, "reason": "stuck",
+                                "overdue_deadline": overdue,
+                                "queued_inputs": len(sched.input_queue)})
+        return {"fleet_p50_us": fleet_p50, "fleet_p99_us": fleet_p99,
+                "factor": factor, "flagged": flagged}
+
+    # ------------------------------------------------------------ snapshot
+    def fleet_snapshot(self) -> dict:
+        """One JSON-ready snapshot of the whole fleet: the labelled farm
+        families, the DES kernel counters, and the cross-instance rollup
+        of every per-instance registry."""
+        merged = merge_snapshots(
+            [inst.program.sched.metrics.snapshot()
+             for inst in self.instances]) if self.observe \
+            else merge_snapshots([])
+        done = sum(1 for inst in self.instances if inst.program.done)
+        return {
+            "schema": 1,
+            "instances": self.live(),
+            "spawned": len(self.instances),
+            "done": done,
+            "programs": {name: sum(1 for i in self.instances
+                                   if i.program_name == name)
+                         for name in sorted(self.programs)},
+            "now_us": self.sim.now,
+            "sim": self.sim.stats(),
+            "farm": self.fleet.snapshot(),
+            "merged": merged,
+        }
+
+    def close(self) -> None:
+        if self.stream is not None:
+            self.stream.close()
+
+
+__all__ = ["Farm", "Instance", "InstanceTap"]

@@ -13,9 +13,15 @@ Two families are frozen:
 byte for byte, so any change to diagnostic codes, messages, ordering,
 witness scripts, or bounds shows up in review as a golden diff.  Only
 rerun this when the analysis output deliberately changes.
+
+``--farm`` instead regenerates ``farm_blink.prom`` — the deterministic
+Prometheus exposition of the CI farm-smoke workload (1000 blink
+instances, 2s), pinned by ``tests/test_farm.py`` and the farm-smoke CI
+job.  Rerun after an intentional metrics/exposition change.
 """
 
 import json
+import sys
 from pathlib import Path
 
 from repro.analysis import run_analysis
@@ -150,5 +156,22 @@ def mint(out: Path) -> None:
               f"stages={'+'.join(report.stages)}")
 
 
+def mint_farm(out: Path) -> None:
+    from repro.apps import load
+    from repro.obs import render_prom
+    from repro.runtime.farm import Farm
+    from test_farm import prom_deterministic_lines
+
+    farm = Farm(load("blink"), n=1000, program="blink")
+    farm.run_until("2s")
+    text = prom_deterministic_lines(render_prom(farm.fleet_snapshot()))
+    (out / "farm_blink.prom").write_text(text)
+    print(f"farm_blink.prom: {len(text.splitlines())} exposition lines")
+
+
 if __name__ == "__main__":
-    mint(Path(__file__).parent / "goldens")
+    sys.path.insert(0, str(Path(__file__).parent))
+    if "--farm" in sys.argv:
+        mint_farm(Path(__file__).parent / "goldens")
+    else:
+        mint(Path(__file__).parent / "goldens")

@@ -1,0 +1,237 @@
+"""Fleet observability: labelled metric families, cross-instance
+rollup, and Prometheus text exposition (PR 6 tentpole,
+``repro.obs.fleet`` + ``repro.obs.prom``).
+
+The load-bearing properties:
+
+* **labelled families** — one family, N label-keyed children, each with
+  the same plain-int hot path as the unlabelled primitives; label
+  cardinality is validated and schema conflicts are rejected;
+* **true cross-instance percentiles** — :func:`merge_snapshots` merges
+  histogram *buckets*, so the fleet p99 is the p99 over every
+  observation on every instance, not an average of per-instance p99s;
+* **exposition** — :func:`render_prom` turns any snapshot shape into
+  the text format 0.0.4, with cumulative buckets, dynamic-counter
+  labels, and escaped label values.
+"""
+
+import pytest
+
+from repro.obs import (FleetRegistry, Gauge, Histogram, MetricsRegistry,
+                       merge_histogram, merge_snapshots, render_prom)
+from repro.obs.fleet import merge_histogram_snapshots
+from repro.runtime import Program
+
+
+# ------------------------------------------------------------- families
+class TestFamilies:
+    def test_counter_family_children_are_independent(self):
+        fleet = FleetRegistry()
+        events = fleet.counter_family("events_total", ("program", "event"))
+        events.labels("blink", "A").inc()
+        events.labels("blink", "A").inc()
+        events.labels("blink", "B").inc(5)
+        assert events.labels("blink", "A").value == 2
+        assert events.labels("blink", "B").value == 5
+        assert events.total() == 7
+
+    def test_gauge_family_tracks_min_and_max(self):
+        fleet = FleetRegistry()
+        live = fleet.gauge_family("live", ("program",))
+        g = live.labels("blink")
+        g.inc()
+        g.inc()
+        g.dec()
+        assert (g.value, g.min, g.max) == (1, 0, 2)
+
+    def test_histogram_family_shares_bounds(self):
+        fleet = FleetRegistry()
+        lat = fleet.histogram_family("latency_us", ("program",),
+                                     bounds=(10, 100, 1000))
+        lat.labels("a").record(5)
+        lat.labels("b").record(500)
+        assert lat.labels("a").bounds == lat.labels("b").bounds
+        agg = lat.aggregate()
+        assert agg.count == 2
+
+    def test_label_cardinality_is_validated(self):
+        fleet = FleetRegistry()
+        fam = fleet.counter_family("x_total", ("a", "b"))
+        with pytest.raises(ValueError):
+            fam.labels("only-one")
+
+    def test_schema_conflicts_are_rejected(self):
+        fleet = FleetRegistry()
+        fleet.counter_family("x_total", ("a",))
+        with pytest.raises(ValueError):
+            fleet.counter_family("x_total", ("a", "b"))
+        with pytest.raises(ValueError):
+            fleet.gauge_family("x_total", ("a",))
+
+    def test_family_is_memoised_per_schema(self):
+        fleet = FleetRegistry()
+        assert fleet.counter_family("x_total", ("a",)) is \
+            fleet.counter_family("x_total", ("a",))
+
+    def test_registry_snapshot_shape(self):
+        fleet = FleetRegistry()
+        fleet.counter_family("c_total", ("k",)).labels("v").inc(3)
+        fleet.gauge_family("g", ("k",)).labels("v").set(2)
+        snap = fleet.snapshot()
+        assert snap["c_total"]["kind"] == "counter"
+        assert snap["c_total"]["labels"] == ["k"]
+        assert snap["c_total"]["series"] == [[["v"], 3]]
+        assert snap["g"]["series"][0][1]["value"] == 2
+
+
+# --------------------------------------------------------------- merging
+class TestMerge:
+    def test_merge_histogram_folds_counts_and_watermarks(self):
+        a = Histogram((10, 100))
+        b = Histogram((10, 100))
+        a.record(5)
+        a.record(50)
+        b.record(500)
+        merge_histogram(a, b)
+        assert a.count == 3
+        assert a.min == 5 and a.max == 500
+
+    def test_merge_histogram_rejects_mismatched_bounds(self):
+        with pytest.raises(ValueError):
+            merge_histogram(Histogram((10,)), Histogram((20,)))
+
+    def test_cross_instance_percentile_is_not_an_average(self):
+        """One slow instance among nine fast ones: the fleet p99 must
+        surface the slow tail, which an average of per-instance p99s
+        would wash out."""
+        bounds = tuple(10 ** k for k in range(7))
+        snaps = []
+        for _ in range(9):
+            h = Histogram(bounds)
+            for _ in range(100):
+                h.record(5)
+            snaps.append(h.snapshot())
+        slow = Histogram(bounds)
+        for _ in range(100):
+            slow.record(90_000)
+        snaps.append(slow.snapshot())
+        merged = merge_histogram_snapshots(snaps)
+        assert merged["count"] == 1000
+        assert merged["p99"] > 10_000
+        mean_of_p99 = sum(s["p99"] for s in snaps) / len(snaps)
+        assert merged["p99"] > mean_of_p99
+
+    def test_merge_snapshots_sums_counters_and_folds_gauges(self):
+        regs = [MetricsRegistry() for _ in range(3)]
+        for i, reg in enumerate(regs):
+            reg.counter("reactions_total").inc(i + 1)
+            g = reg.gauge("live_trails")
+            g.set(i + 1)
+            g.set(i)
+        merged = merge_snapshots([r.snapshot() for r in regs])
+        assert merged["instances"] == 3
+        assert merged["counters"]["reactions_total"] == 6
+        assert merged["gauges"]["live_trails"]["value"] == 0 + 1 + 2
+        assert merged["gauges"]["live_trails"]["min"] == 0
+        assert merged["gauges"]["live_trails"]["max"] == 3
+
+    def test_merged_snapshot_renders_like_a_single_instance(self):
+        reg = MetricsRegistry()
+        reg.counter("reactions_total").inc()
+        merged = merge_snapshots([reg.snapshot(), reg.snapshot()])
+        text = render_prom(merged)
+        assert "repro_instances 2" in text
+        assert "repro_reactions_total 2" in text
+
+    def test_merge_empty_is_well_formed(self):
+        merged = merge_snapshots([])
+        assert merged["instances"] == 0
+        assert merged["counters"] == {}
+
+
+# ------------------------------------------------------- gauge satellite
+class TestGaugeIncDec:
+    def test_inc_dec_and_min_watermark(self):
+        g = Gauge()
+        g.inc()
+        g.inc(3)
+        g.dec(2)
+        assert (g.value, g.min, g.max) == (2, 0, 4)
+        g.dec(5)
+        assert g.min == -3
+
+    def test_snapshot_carries_min(self):
+        reg = MetricsRegistry()
+        reg.gauge("q").set(7)
+        snap = reg.snapshot()
+        assert snap["gauges"]["q"] == {"value": 7, "min": 0, "max": 7}
+
+
+# ------------------------------------------------------------ exposition
+class TestPromRendering:
+    def test_registry_snapshot_exposition(self):
+        program = Program("input void A; int n = 0; loop do await A; "
+                          "n = n + 1; end", observe=True)
+        program.start()
+        program.send("A")
+        text = render_prom(program.stats())
+        assert "# TYPE repro_reactions_total counter" in text
+        assert "repro_reactions_total 2" in text
+        # dotted dynamic counters become labelled families
+        assert 'repro_reactions_by_trigger_total{trigger="boot"} 1' in text
+        assert 'repro_reactions_by_trigger_total{trigger="event:A"} 1' \
+            in text
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat_us", bounds=(10, 100))
+        h.record(5)
+        h.record(50)
+        h.record(5000)
+        lines = render_prom(reg.snapshot()).splitlines()
+        buckets = [l for l in lines if l.startswith("repro_lat_us_bucket")]
+        assert buckets == [
+            'repro_lat_us_bucket{le="10"} 1',
+            'repro_lat_us_bucket{le="100"} 2',
+            'repro_lat_us_bucket{le="+Inf"} 3',
+        ]
+        assert "repro_lat_us_sum 5055" in lines
+        assert "repro_lat_us_count 3" in lines
+
+    def test_gauge_emits_watermark_series(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("depth")
+        g.set(4)
+        g.set(1)
+        text = render_prom(reg.snapshot())
+        assert "repro_depth 1" in text
+        assert "repro_depth_min 0" in text
+        assert "repro_depth_max 4" in text
+
+    def test_family_snapshot_exposition_with_escaping(self):
+        fleet = FleetRegistry()
+        fam = fleet.counter_family("calls_total", ("symbol",))
+        fam.labels('weird"name\\').inc()
+        text = render_prom(fleet.snapshot())
+        assert r'repro_calls_total{symbol="weird\"name\\"} 1' in text
+
+    def test_type_line_appears_once_per_family(self):
+        fleet = FleetRegistry()
+        fam = fleet.counter_family("c_total", ("k",))
+        fam.labels("a").inc()
+        fam.labels("b").inc()
+        text = render_prom(fleet.snapshot())
+        assert text.count("# TYPE repro_c_total counter") == 1
+
+    def test_metric_names_are_sanitised(self):
+        reg = MetricsRegistry()
+        reg.counter("weird-name.total").inc()
+        text = render_prom(reg.snapshot())
+        for line in text.splitlines():
+            if not line.startswith("#"):
+                name = line.split("{")[0].split(" ")[0]
+                assert all(c.isalnum() or c in "_:" for c in name)
+
+    def test_rejects_non_snapshot(self):
+        with pytest.raises(ValueError):
+            render_prom({"definitely": "not-a-snapshot"})
