@@ -21,7 +21,9 @@ reproduction's analysis artifacts:
 ``why``     replay a program against a stimulus script and print the
             *causal slice* of a target occurrence — the exact chain of
             resumes/emits/timer fires that led to it
-            (docs/OBSERVABILITY.md)
+            (docs/OBSERVABILITY.md); ``--diff`` replays a second
+            configuration and diffs the two slices (the bisect aid
+            across a semantic divergence)
 ``debug``   time-travel debugger: replay deterministically, pause at any
             reaction boundary, inspect memory/trails, step forward *and
             backward* (``step``/``back``/``goto N``/``state``/``why``)
@@ -37,7 +39,9 @@ reproduction's analysis artifacts:
             the VM, the C backend, replay determinism, schedule
             independence, and the static bounds against each other
             (docs/FUZZING.md); ``--shrink`` minimises failures,
-            ``--guided`` turns on coverage-guided seed scheduling
+            ``--guided`` turns on coverage-guided seed scheduling,
+            ``--oracle semantics`` adds the executable reference
+            semantics as a third backend (three-way VM↔C↔spec diff)
 ``bench``   benchmark snapshot (throughput, overhead ratios, latency
             percentiles) as ``benchmarks/BENCH_<stamp>.json``; ``--check``
             gates against the committed baseline; ``--farm`` also measures
@@ -261,25 +265,68 @@ def cmd_profile(args) -> int:
     return 0
 
 
-def cmd_why(args) -> int:
-    """Causal slice of one occurrence: replay, find, print ancestry."""
+def _causal_replay(path: str, inputs_file, inputs,
+                   reverse_seeds: bool = False):
+    """One instrumented replay; returns ``(program, causal_graph)``."""
     from .obs import CausalGraph
 
-    source = _load(args.file)
-    program = Program(source, filename=args.file)
+    source = _load(path)
+    program = Program(source, filename=path,
+                      reverse_seeds=reverse_seeds)
     graph = program.observe(CausalGraph(program.hooks))
     program.start()
-    if args.inputs_file:
-        _feed_script(program, _load_script(args.inputs_file))
-    _feed_inputs(program, args.inputs)
+    if inputs_file:
+        _feed_script(program, _load_script(inputs_file))
+    _feed_inputs(program, inputs)
+    return program, graph
+
+
+def cmd_why(args) -> int:
+    """Causal slice of one occurrence: replay, find, print ancestry.
+
+    With ``--diff``, replay a *second* configuration (another program
+    revision via ``--diff-file``, another stimulus via ``--diff-inputs``,
+    or the flipped seeding order via ``--diff-reverse-seeds``) and print
+    a unified diff of the two causal slices — the bisect aid when the
+    differential oracles disagree: the first diverging line is where the
+    two histories fork.
+    """
+    _program, graph = _causal_replay(args.file, args.inputs_file,
+                                     args.inputs)
     node = graph.find(args.at)
     if node is None:
         print(graph.why(args.at), file=sys.stderr)
         return 1
-    print(f"causal slice of [{node.span}] {node.describe()} "
-          f"(reaction #{node.reaction}):")
-    print(graph.render_slice(node.span, steps=args.steps))
-    return 0
+    if not args.diff:
+        print(f"causal slice of [{node.span}] {node.describe()} "
+              f"(reaction #{node.reaction}):")
+        print(graph.render_slice(node.span, steps=args.steps))
+        return 0
+    from .obs import diff_slices
+
+    other_file = args.diff_file or args.file
+    other_inputs = args.diff_inputs_file or args.inputs_file
+    _program2, graph2 = _causal_replay(
+        other_file, other_inputs, args.inputs,
+        reverse_seeds=args.diff_reverse_seeds)
+    other_at = args.diff_at or args.at
+    node2 = graph2.find(other_at)
+    if node2 is None:
+        print(graph2.why(other_at), file=sys.stderr)
+        return 1
+    label_a = f"a: {args.file} --at {args.at}"
+    label_b = f"b: {other_file} --at {other_at}" + \
+        (" (reverse seeds)" if args.diff_reverse_seeds else "")
+    text = diff_slices(graph, node.span, graph2, node2.span,
+                       steps=args.steps, label_a=label_a,
+                       label_b=label_b)
+    if not text:
+        print(f"slices identical ({label_a} vs {label_b})")
+        return 0
+    print(f"causal slices diverge ({node.describe()} vs "
+          f"{node2.describe()}):")
+    print(text)
+    return 1
 
 
 def cmd_debug(args) -> int:
@@ -402,7 +449,8 @@ def cmd_fuzz(args) -> int:
                         report=args.report, profile=args.profile,
                         guided=args.guided, target=target,
                         corpus_max=args.corpus_max,
-                        artifact_dir=args.artifact_dir)
+                        artifact_dir=args.artifact_dir,
+                        use_semantics=(args.oracle == "semantics"))
     stats = runner.run(n=args.n, minutes=args.minutes)
     return 0 if stats.ok() else 1
 
@@ -539,6 +587,23 @@ def build_parser() -> argparse.ArgumentParser:
                         "event:NAME, reaction:N, or a bare name")
     p.add_argument("--steps", action="store_true",
                    help="include interpreter steps in the slice")
+    p.add_argument("--diff", action="store_true",
+                   help="replay a second configuration and print a "
+                        "unified diff of the two causal slices "
+                        "(normalized span ids; exit 1 when they differ)")
+    p.add_argument("--diff-file", metavar="FILE",
+                   help="program for the second replay "
+                        "(default: same file)")
+    p.add_argument("--diff-inputs", dest="diff_inputs_file",
+                   metavar="FILE",
+                   help="script file for the second replay "
+                        "(default: same stimulus)")
+    p.add_argument("--diff-at", metavar="TARGET",
+                   help="target in the second replay "
+                        "(default: same as --at)")
+    p.add_argument("--diff-reverse-seeds", action="store_true",
+                   help="second replay flips every intra-reaction "
+                        "seeding order the semantics leaves open")
     p.set_defaults(fn=cmd_why)
 
     p = sub.add_parser(
@@ -594,8 +659,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file")
     p.set_defaults(fn=cmd_layout)
 
-    p = sub.add_parser("fuzz",
-                       help="differential conformance fuzzing (VM/C/replay)")
+    p = sub.add_parser(
+        "fuzz",
+        help="differential conformance fuzzing (VM/C/spec/replay)")
     p.add_argument("--seed", type=int, default=0,
                    help="first seed; case i uses seed+i (default 0)")
     p.add_argument("--n", type=int, default=None, metavar="N",
@@ -612,6 +678,13 @@ def build_parser() -> argparse.ArgumentParser:
                         "prio = §4.1 join-priority gadgets)")
     p.add_argument("--no-c", action="store_true",
                    help="skip the C backend even when gcc is available")
+    p.add_argument("--oracle", default="default",
+                   choices=["default", "semantics"],
+                   help="'semantics' adds the executable reference "
+                        "semantics as a third backend: every well-formed "
+                        "case is also run on the spec machine and the "
+                        "full trace signature compared (three-way "
+                        "VM/C/spec diff with odd-one-out attribution)")
     p.add_argument("--inject-fault", default=None,
                    choices=["minus-to-plus", "drop-emit", "flat-prio"],
                    help="mutate the generated C to validate the oracles")

@@ -1,8 +1,10 @@
 """Conformance fuzzing: seeded program generation, differential oracles
-(VM ↔ C ↔ replay), and a delta-debugging shrinker (docs/FUZZING.md).
+(VM ↔ C ↔ spec ↔ replay), and a delta-debugging shrinker
+(docs/FUZZING.md).
 
-The subsystem turns the repo's two executable semantics — the reference
-VM and the §4.4 C backend — into each other's oracle, the way
+The subsystem turns the repo's three executable semantics — the
+reference VM, the §4.4 C backend, and the executable reference
+semantics (:mod:`repro.semantics`) — into each other's oracles, the way
 Esterel-family compilers are validated when a verified chain is out of
 reach.  Entry points:
 
@@ -17,7 +19,8 @@ from .gen import (CORPUS_PROFILES, DIFF, PRIO, PROFILES, GenCase,
                   relay_program, script_text)
 from .mutate import INTERESTING, ScriptMutator
 from .oracles import (FAULTS, OracleFailure, RunResult, bounds_violations,
-                      canon_psig, check_case, has_gcc, run_c, run_vm)
+                      canon_psig, canon_sig, check_case, has_gcc, run_c,
+                      run_semantics, run_vm, three_way_attribution)
 from .runner import FuzzRunner, FuzzStats
 from .shrink import (ShrinkResult, causal_cone_script, shrink,
                      shrink_script)
@@ -26,8 +29,9 @@ __all__ = [
     "CORPUS_PROFILES", "DIFF", "FAULTS", "FuzzRunner", "FuzzStats",
     "GenCase", "GenConfig", "INTERESTING", "OracleFailure", "PRIO",
     "PROFILES", "ProgramGen", "RunResult", "ScriptMutator",
-    "ShrinkResult", "bounds_violations", "canon_psig",
+    "ShrinkResult", "bounds_violations", "canon_psig", "canon_sig",
     "causal_cone_script", "check_case", "generate_case", "has_gcc",
-    "parse_script_text", "relay_program", "run_c", "run_vm",
-    "script_text", "shrink", "shrink_script",
+    "parse_script_text", "relay_program", "run_c", "run_semantics",
+    "run_vm", "script_text", "shrink", "shrink_script",
+    "three_way_attribution",
 ]

@@ -9,6 +9,10 @@ Backends and oracles:
   generated driver reports status/return/output on stdout and the
   portable signature (one ``==SIG``/``==EMIT`` line per reaction /
   internal emit) on stderr;
+* **spec** — the executable reference semantics
+  (:mod:`repro.semantics`): a pure small-step machine over the bound
+  AST, sharing no scheduler machinery with the VM, compared on the
+  *full* trace signature (``--oracle semantics``);
 * **replay** — the VM run twice: §2.8 demands bit-identical traces,
   memory, and output;
 * **analyses** — parse/bind/§2.5 must accept every generated program,
@@ -52,7 +56,7 @@ def has_gcc() -> bool:
 class RunResult:
     """What one backend observed for one (program, script) pair."""
 
-    backend: str                       # "vm" | "c"
+    backend: str                       # "vm" | "c" | "spec"
     ok: bool = True                    # the harness itself succeeded
     error: Optional[str] = None        # exception / compiler message
     done: Optional[bool] = None
@@ -109,6 +113,28 @@ def run_vm(src: str, script: Script, trace: bool = True,
     res.memory = program.sched.memory.snapshot()
     if observe:
         res.stats = program.stats()
+    return res
+
+
+def run_semantics(src: str, script: Script) -> RunResult:
+    """Execute on the executable reference semantics (the *spec*
+    backend).  Fills the same fields as :func:`run_vm` so the two plug
+    into the same comparators."""
+    from ..semantics import run_script as _spec_run
+
+    res = RunResult(backend="spec")
+    try:
+        machine = _spec_run(src, script)
+    except Exception:
+        res.ok = False
+        res.error = traceback.format_exc(limit=8)
+        return res
+    res.done = machine.done
+    res.result = machine.result if machine.done else None
+    res.output = machine.output()
+    res.signature = machine.signature()
+    res.psig = machine.portable_signature()
+    res.memory = machine.memory_snapshot()
     return res
 
 
@@ -214,7 +240,8 @@ class OracleFailure:
     """One oracle disagreement, with everything needed to reproduce."""
 
     oracle: str                 # "well-formed" | "vm-crash" | "replay"
-                                # | "static-bounds" | "schedule" | "vm-vs-c"
+                                # | "static-bounds" | "schedule"
+                                # | "vm-vs-c" | "vm-vs-spec"
     seed: int
     src: str
     script: Script
@@ -276,6 +303,72 @@ def canon_psig(psig: Optional[tuple]) -> Optional[tuple]:
                  for trigger, emits in psig)
 
 
+def canon_sig(sig: Optional[tuple]) -> Optional[tuple]:
+    """Process-independent view of a *full* signature: ``async:N``
+    triggers renumbered by first appearance.  The VM's async job counter
+    is process-global (every job in a Python process gets a fresh N), so
+    raw signatures of the same run differ across processes — and from
+    the reference semantics, whose counter is per-machine."""
+    if sig is None:
+        return None
+    mapping: dict[str, str] = {}
+    out = []
+    for trigger, steps, emits in sig:
+        if trigger.startswith("async:"):
+            trigger = mapping.setdefault(trigger,
+                                         f"async:#{len(mapping) + 1}")
+        out.append((trigger, steps, emits))
+    return tuple(out)
+
+
+def _diff_spec(vm: RunResult, spec: RunResult) -> dict:
+    """VM ↔ reference-semantics comparison: the *full* signature (every
+    step of every reaction), plus status/result/output/memory."""
+    details: dict = {}
+    if vm.done != spec.done:
+        details["status"] = {"vm": vm.done, "spec": spec.done}
+    if vm.done and spec.done and vm.result != spec.result:
+        details["result"] = {"vm": vm.result, "spec": spec.result}
+    if vm.output != spec.output:
+        details["output"] = {"vm": vm.output, "spec": spec.output}
+    a, b = canon_sig(vm.signature), canon_sig(spec.signature)
+    if a is not None and b is not None and a != b:
+        for i, (ra, rb) in enumerate(zip(a, b)):
+            if ra != rb:
+                details["signature"] = {"first_diff": i, "vm": ra,
+                                        "spec": rb}
+                break
+        else:
+            details["signature"] = {"length": {"vm": len(a),
+                                               "spec": len(b)}}
+    if vm.memory is not None and spec.memory is not None \
+            and vm.memory != spec.memory:
+        details["memory"] = {"vm": vm.memory, "spec": spec.memory}
+    return details
+
+
+def three_way_attribution(vm: RunResult, c: RunResult,
+                          spec: RunResult) -> dict:
+    """Given all three backends, vote on the portable signatures: the
+    odd one out is (probably) the buggy backend.  ``odd_one_out`` is
+    None when all agree, a backend name under a 2-vs-1 split, or
+    ``"all"`` when no two agree."""
+    pv, pc, ps = (canon_psig(vm.psig), canon_psig(c.psig),
+                  canon_psig(spec.psig))
+    agree = {"vm==c": pv == pc, "vm==spec": pv == ps, "c==spec": pc == ps}
+    if agree["vm==c"] and agree["vm==spec"]:
+        odd = None
+    elif agree["vm==spec"]:
+        odd = "c"
+    elif agree["c==spec"]:
+        odd = "vm"
+    elif agree["vm==c"]:
+        odd = "spec"
+    else:
+        odd = "all"
+    return {"odd_one_out": odd, "agreement": agree}
+
+
 def _diff(vm: RunResult, c: RunResult) -> dict:
     details: dict = {}
     if vm.done != c.done:
@@ -301,6 +394,8 @@ def _diff(vm: RunResult, c: RunResult) -> dict:
 
 def check_case(case: GenCase, workdir=None, use_c: bool = True,
                mutate: Optional[Callable[[str], str]] = None,
+               use_semantics: bool = False,
+               stats_out: Optional[dict] = None,
                ) -> tuple[str, list[OracleFailure]]:
     """Run the full oracle stack on one case.
 
@@ -308,8 +403,13 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
     analysis verdict ("accept"/"refuse"/"giveup"/"ill-formed").  The
     VM↔C and schedule-independence oracles only apply to accepted
     programs — the language only promises determinism for those — the
-    static-bounds oracle to every program the DFA covered, and replay
-    and no-crash to every well-formed program.
+    static-bounds oracle to every program the DFA covered, and replay,
+    no-crash, and (with ``use_semantics``) the VM↔spec differential to
+    every well-formed program.
+
+    ``stats_out``, when given, receives per-case coverage counters
+    (``reactions`` / ``nonboot_reactions``) so the runner can reject
+    trivial cases whose oracles pass vacuously.
     """
     failures: list[OracleFailure] = []
 
@@ -337,7 +437,17 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
 
     # 2. the runtime never crashes on a well-formed program
     vm = run_vm(case.src, case.script)
+    if stats_out is not None and vm.ok and vm.signature is not None:
+        stats_out["reactions"] = len(vm.signature)
+        stats_out["nonboot_reactions"] = sum(
+            1 for r in vm.signature if r[0] != "boot")
     if not vm.ok:
+        # a crashing program must crash the spec identically
+        if use_semantics:
+            spec = run_semantics(case.src, case.script)
+            if spec.ok:
+                fail("vm-vs-spec", error="VM crashed, spec did not",
+                     vm_error=vm.error)
         fail("vm-crash", error=vm.error, verdict=verdict)
         return verdict, failures
 
@@ -381,7 +491,23 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
                  reversed={"output": vmr.output, "result": vmr.result,
                            "psig": vmr.psig})
 
-    # 6. VM ↔ C differential (accepted programs, gcc available)
+    # 6. VM ↔ spec: the executable reference semantics must reproduce
+    #    the VM's *full* trace on every well-formed program (both are
+    #    sequential and canonical, so this holds for refused programs
+    #    too — determinism of each implementation, not of the language)
+    spec = None
+    if use_semantics:
+        spec = run_semantics(case.src, case.script)
+        if not spec.ok:
+            fail("vm-vs-spec", error=spec.error)
+            spec = None
+        else:
+            details = _diff_spec(vm, spec)
+            if details:
+                fail("vm-vs-spec", **details)
+
+    # 7. VM ↔ C differential (accepted programs, gcc available), with
+    #    three-way odd-one-out attribution when the spec also ran
     if use_c and verdict == "accept" and has_gcc() and workdir is not None:
         c = run_c(case.src, case.script, workdir,
                   name=f"fz{case.seed}", mutate=mutate)
@@ -389,6 +515,14 @@ def check_case(case: GenCase, workdir=None, use_c: bool = True,
             fail("vm-vs-c", error=c.error)
         else:
             details = _diff(vm, c)
+            if spec is not None and (details or any(
+                    f.oracle == "vm-vs-spec" for f in failures)):
+                attribution = three_way_attribution(vm, c, spec)
+                if details:
+                    details["three_way"] = attribution
+                for f in failures:
+                    if f.oracle == "vm-vs-spec":
+                        f.details.setdefault("three_way", attribution)
             if details:
                 fail("vm-vs-c", **details)
     return verdict, failures

@@ -41,7 +41,7 @@ from ..sema import bind
 from .gen import DIFF, GenCase, GenConfig, generate_case, script_text
 from .mutate import ScriptMutator
 from .oracles import FAULTS, OracleFailure, check_case, has_gcc, run_c, \
-    run_vm
+    run_semantics, run_vm
 from .shrink import ShrinkResult, shrink
 
 
@@ -52,6 +52,8 @@ class FuzzStats:
     refused: int = 0
     giveup: int = 0
     c_diffed: int = 0
+    spec_diffed: int = 0          # cases also run on the reference semantics
+    trivial: int = 0              # cases rejected: no reaction beyond boot
     mutated: int = 0              # cases drawn by corpus mutation
     coverage_total: int = 0       # unique coverage ids lit so far
     corpus_size: int = 0
@@ -90,12 +92,16 @@ class FuzzRunner:
                  guided: bool = False, target: Optional[str] = None,
                  corpus_max: int = 64, mutate_ratio: float = 0.75,
                  artifact_dir: Optional[str] = None,
+                 use_semantics: bool = False,
+                 max_trivial_retries: int = 3,
                  log: Callable[[str], None] = lambda msg: print(
                      msg, file=sys.stderr)):
         self.seed = seed
         self.config = config
         self.profile = profile
         self.use_c = use_c and has_gcc()
+        self.use_semantics = use_semantics
+        self.max_trivial_retries = max_trivial_retries
         self.mutate = FAULTS[fault] if fault else None
         self.do_shrink = do_shrink
         self.report_path = report
@@ -161,8 +167,11 @@ class FuzzRunner:
                      refused=self.stats.refused,
                      giveup=self.stats.giveup,
                      c_diffed=self.stats.c_diffed,
+                     spec_diffed=self.stats.spec_diffed,
+                     trivial=self.stats.trivial,
                      failures=len(self.stats.failures),
                      gcc=self.use_c,
+                     semantics=self.use_semantics,
                      guided=self.guided,
                      mutated=self.stats.mutated,
                      coverage=self.stats.coverage_total,
@@ -230,11 +239,14 @@ class FuzzRunner:
             self.stats.corpus_size = len(self.corpus)
 
     # --------------------------------------------------------------- cases
-    def _one_case(self, case: GenCase, tmp: str) -> None:
+    def _one_case(self, case: GenCase, tmp: str, retry: int = 0) -> None:
         self.stats.cases += 1
+        coverage: dict = {}
         verdict, failures = check_case(case, workdir=tmp,
                                        use_c=self.use_c,
-                                       mutate=self.mutate)
+                                       mutate=self.mutate,
+                                       use_semantics=self.use_semantics,
+                                       stats_out=coverage)
         if verdict == "accept":
             self.stats.accepted += 1
             if self.use_c:
@@ -243,12 +255,27 @@ class FuzzRunner:
             self.stats.refused += 1
         elif verdict == "giveup":
             self.stats.giveup += 1
+        if self.use_semantics and verdict != "ill-formed":
+            self.stats.spec_diffed += 1
         if self.guided or self.target is not None:
             self._observe_coverage(case)
+        # non-trivial coverage: a case whose whole life is the boot
+        # reaction exercises no oracle — every differential comparison
+        # passes vacuously.  Reject it and re-roll a replacement.
+        trivial = (not failures
+                   and coverage.get("nonboot_reactions") == 0)
         self._record("fuzz_case", seed=case.seed, verdict=verdict,
                      src_lines=case.src_lines(),
                      script_len=len(case.script),
+                     reactions=coverage.get("reactions"),
+                     trivial=trivial,
                      ok=not failures)
+        if trivial:
+            self.stats.trivial += 1
+            if retry < self.max_trivial_retries:
+                self._one_case(self._reroll(case, retry + 1), tmp,
+                               retry + 1)
+            return
         for failure in failures:
             self.stats.failures.append(failure)
             self.log(f"FAIL {failure.summary()}")
@@ -265,6 +292,17 @@ class FuzzRunner:
             if self.artifact_dir:
                 self._write_artifacts(failure, shrunk)
 
+    def _reroll(self, case: GenCase, retry: int) -> GenCase:
+        """A replacement draw for a trivial case.  Fixed-program modes
+        get a fresh random script; generated modes a re-salted seed."""
+        if self.target is not None or case.profile in ("target", "mutant"):
+            script = self.mutator.random_script(
+                rounds=self.rng.randrange(4, 12))
+            return GenCase(seed=case.seed, src=case.src, script=script,
+                           profile=case.profile)
+        return generate_case(case.seed * 1_000_003 + retry, self.config,
+                             self.profile)
+
     # ------------------------------------------------------------ shrinking
     def _shrink_failure(self, failure: OracleFailure) -> ShrinkResult:
         """Re-runs the failing oracle as the shrink predicate."""
@@ -273,9 +311,10 @@ class FuzzRunner:
         def predicate(src: str, script: list) -> bool:
             case = GenCase(seed=failure.seed, src=src, script=list(script))
             with tempfile.TemporaryDirectory(prefix="repro-shrink-") as t:
-                _verdict, fails = check_case(case, workdir=t,
-                                             use_c=self.use_c,
-                                             mutate=self.mutate)
+                _verdict, fails = check_case(
+                    case, workdir=t, use_c=self.use_c,
+                    mutate=self.mutate,
+                    use_semantics=self.use_semantics)
             return any(f.oracle == oracle for f in fails)
 
         result = shrink(failure.src, failure.script, predicate)
@@ -332,15 +371,23 @@ class FuzzRunner:
     # -------------------------------------------------------------- report
     def summary(self) -> str:
         s = self.stats
-        backend = "VM+C" if self.use_c else "VM only"
+        backend = "VM+C" if self.use_c else "VM"
+        if self.use_semantics:
+            backend += "+spec"
+        elif not self.use_c:
+            backend = "VM only"
         line = (f"fuzz: {s.cases} cases ({backend}) — "
                 f"{s.accepted} accepted, {s.refused} refused, "
                 f"{s.giveup} gave up, {s.c_diffed} C-diffed, "
                 f"{len(s.failures)} failure(s)")
+        if self.use_semantics:
+            line += f"; {s.spec_diffed} spec-diffed"
+        if s.trivial:
+            line += f"; {s.trivial} trivial rejected"
         if self.guided or self.target is not None:
             line += (f"; coverage {s.coverage_total} ids, "
                      f"corpus {s.corpus_size}, {s.mutated} mutants")
         return line
 
 
-__all__ = ["FuzzRunner", "FuzzStats", "run_vm", "run_c"]
+__all__ = ["FuzzRunner", "FuzzStats", "run_vm", "run_c", "run_semantics"]

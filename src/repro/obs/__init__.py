@@ -5,7 +5,7 @@ a guarded no-op and the VM behaves (and performs) exactly as before.
 See ``docs/OBSERVABILITY.md`` for the taxonomy and usage.
 """
 
-from .causal import CausalGraph, CausalNode
+from .causal import CausalGraph, CausalNode, diff_slices
 from .coverage import (CoverageMap, DfaEdgeCoverage, collect_coverage,
                        coverage_signature)
 from .debug import TimeTravelDebugger
@@ -30,6 +30,7 @@ __all__ = [
     "ChromeTraceExporter", "JsonlExporter",
     "StreamingJsonlExporter", "FlightRecorder", "Profiler",
     "CausalGraph", "CausalNode", "TimeTravelDebugger",
+    "diff_slices",
     "CoverageMap", "DfaEdgeCoverage", "collect_coverage",
     "coverage_signature",
 ]

@@ -236,7 +236,8 @@ class CausalGraph(HookSubscriber):
         return cone
 
     # ------------------------------------------------------------ rendering
-    def render_slice(self, span: int, steps: bool = False) -> str:
+    def render_slice(self, span: int, steps: bool = False,
+                     normalize: bool = False) -> str:
         """Human rendering of :meth:`slice`, one occurrence per line::
 
             [12] reaction #2 event:I  <- external
@@ -247,8 +248,21 @@ class CausalGraph(HookSubscriber):
         ``<-`` names the causal parent, ``awaited/armed at`` the wake
         edge.  ``steps=False`` elides interpreter ``step`` occurrences
         (unless the target itself is one).
+
+        ``normalize=True`` renumbers span ids 1..n *within the slice*
+        (slice order), so two replays of diverging runs — whose absolute
+        span counters drift apart at the first divergence — still
+        produce byte-identical lines for the shared causal prefix.
+        That is what makes :func:`diff_slices` output stable.
         """
         nodes = self.slice(span)
+        ids: dict[int, int] = {}
+        if normalize:
+            ids = {node.span: i + 1 for i, node in enumerate(nodes)}
+
+        def sid(s: int) -> int:
+            return ids.get(s, s) if normalize else s
+
         lines: list[str] = []
         depth_of: dict[int, int] = {}
         for node in nodes:
@@ -256,15 +270,16 @@ class CausalGraph(HookSubscriber):
                 continue
             depth = depth_of.get(node.parent, -1) + 1
             depth_of[node.span] = depth
-            ref = f"<- [{node.parent}]" if node.parent else "<- external"
+            ref = (f"<- [{sid(node.parent)}]" if node.parent
+                   else "<- external")
             wake = ""
             if node.wake:
                 verb = ("armed" if self.nodes.get(node.wake) is not None
                         and self.nodes[node.wake].event == "timer_schedule"
                         else "awaited")
-                wake = f" ({verb} at [{node.wake}])"
+                wake = f" ({verb} at [{sid(node.wake)}])"
             mark = " *" if node.span == span else ""
-            lines.append(f"[{node.span}] {'  ' * depth}"
+            lines.append(f"[{sid(node.span)}] {'  ' * depth}"
                          f"{node.describe()}  {ref}{wake}{mark}")
         return "\n".join(lines)
 
@@ -277,6 +292,29 @@ class CausalGraph(HookSubscriber):
             return (f"no occurrence matches {at!r} "
                     f"(known trails: {', '.join(known) or 'none'})")
         return self.render_slice(node.span, steps=steps)
+
+
+def diff_slices(graph_a: CausalGraph, span_a: int,
+                graph_b: CausalGraph, span_b: int,
+                steps: bool = False,
+                label_a: str = "a", label_b: str = "b") -> str:
+    """Unified diff of two causal slices (``repro why --diff``).
+
+    Both slices are rendered with *normalized* span ids, so the shared
+    causal prefix of two diverging replays compares byte-equal and the
+    diff shows exactly where the histories fork.  Returns ``""`` when
+    the slices are identical.
+    """
+    import difflib
+
+    a = graph_a.render_slice(span_a, steps=steps,
+                             normalize=True).splitlines()
+    b = graph_b.render_slice(span_b, steps=steps,
+                             normalize=True).splitlines()
+    if a == b:
+        return ""
+    return "\n".join(difflib.unified_diff(a, b, fromfile=label_a,
+                                          tofile=label_b, lineterm=""))
 
 
 def _recorder(event: str, fields: tuple[str, ...]) -> Callable:

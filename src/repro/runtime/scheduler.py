@@ -346,8 +346,13 @@ class Scheduler:
                   for t in lst if t.alive)
         internal = sum(1 for lst in self.int_waiting.values()
                        for t in lst if t.alive)
-        timers = sum(1 for entry in self.timers
-                     if entry[-1].alive and entry[-1].waiting == "time")
+        # count timer waiters from the live set, not the heap: go_time
+        # pops every same-deadline entry before running the per-epoch
+        # partitions, so between two coincident-deadline reactions a
+        # still-waiting trail has no heap entry — counting the heap
+        # would declare quiescence with a resume still owed
+        timers = sum(1 for t in self._live
+                     if t.alive and t.waiting == "time")
         forever = sum(1 for t in self.forever if t.alive)
         return ext + internal + timers + forever
 

@@ -1,0 +1,42 @@
+"""Executable reference semantics — the specification oracle.
+
+A pure, slow, *small-step* operational semantics of the reaction rules
+(§2.2 internal-event stack policy, §2.3 timer delta compensation, §4.1
+join priorities, §4.3 abort/trail clearing), independent of the VM's
+scheduler machinery.  Where the VM realises trails as Python generators
+and the emit stack as the Python call stack, the semantics operates on
+an **explicit configuration**:
+
+* a *trail forest* — each trail is a stack of control frames over the
+  bound AST (:mod:`repro.semantics.config`);
+* a *pending-emit stack* — the §2.2 stack of in-flight internal
+  emissions, reified as data;
+* *timer residues* — armed deadlines with their logical arming base,
+  so late ``go_time`` calls compensate exactly as §2.3 prescribes.
+
+One :meth:`Machine.step_once` call applies one rule.  The only parts
+shared with the VM are the *data layer* (binder output, expression
+evaluator, flat memory, C environment) — everything about reaction
+scheduling is re-derived here from the paper, which is what makes the
+three-way VM ↔ C ↔ semantics differential (docs/FUZZING.md) meaningful.
+
+Entry point::
+
+    from repro.semantics import run_script
+    machine = run_script(src, [("E", "A", 1), ("T", 100000)])
+    machine.signature()           # Trace-compatible full signature
+    machine.portable_signature()  # cross-backend projection
+
+See docs/SEMANTICS.md for the rule-by-rule notation.
+"""
+
+from .config import (BindF, BoundaryF, BreakSig, DeclF, EmitF, LoopF,
+                     ReturnSig, RunF, SeqF, SpecEscape, SpecJob, SpecJoin,
+                     SpecTrail)
+from .machine import Machine, run_script
+
+__all__ = [
+    "BindF", "BoundaryF", "BreakSig", "DeclF", "EmitF", "LoopF",
+    "Machine", "ReturnSig", "RunF", "SeqF", "SpecEscape", "SpecJob",
+    "SpecJoin", "SpecTrail", "run_script",
+]

@@ -1,0 +1,243 @@
+"""The explicit configuration of the reference semantics.
+
+A configuration is ⟨F, E, A, Θ, σ, t⟩ — trail forest F, pending-emit
+stack E, agenda A (the per-reaction priority bag), timer residues Θ,
+store σ, clock t.  This module defines the data: control frames, trail
+and join records, the pending-emit stack entries, escape signals, and
+``async`` jobs.  The rules live in :mod:`repro.semantics.rules` /
+:mod:`repro.semantics.machine`.
+
+Control is an explicit *frame stack* per trail (innermost last), not a
+generator: ``SeqF`` is a program point inside a block, ``LoopF`` marks
+an enclosing ``loop``, ``BoundaryF`` a value boundary (``v = do … end``
+or the program), ``BindF`` the pending destination of a statement-valued
+right-hand side, ``DeclF`` a partially-executed declarator list.
+``break``/``return`` are *unwinding* rules over this stack — no Python
+exceptions cross trail boundaries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Optional
+
+from ..lang import ast
+from ..sema.symbols import VarSymbol
+
+
+# ---------------------------------------------------------------------------
+# escape signals (plain data — never raised)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class BreakSig:
+    """``break`` travelling to its binding ``loop``."""
+
+    target: ast.Loop
+
+
+@dataclass(frozen=True, slots=True)
+class ReturnSig:
+    """``return [v]`` travelling to its value boundary (None = program)."""
+
+    boundary: Optional[ast.Node]
+    value: Any
+
+
+# ---------------------------------------------------------------------------
+# control frames
+# ---------------------------------------------------------------------------
+
+class SeqF:
+    """A program point: the statements of one block, next index ``i``."""
+
+    __slots__ = ("stmts", "i")
+
+    def __init__(self, stmts: list, i: int = 0):
+        self.stmts = stmts
+        self.i = i
+
+
+class LoopF:
+    """An entered ``loop`` — fall-through of its body re-enters it."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.Loop):
+        self.node = node
+
+
+class BoundaryF:
+    """A value boundary: ``return`` targeting ``node`` lands here;
+    fall-through produces 0 (the VM's ``exec_do`` contract)."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: ast.Node):
+        self.node = node
+
+
+class BindF:
+    """Pending destination of a statement-valued right-hand side:
+    ``("assign", target_exp)`` or ``("decl", VarSymbol)``."""
+
+    __slots__ = ("kind", "payload")
+
+    def __init__(self, kind: str, payload: Any):
+        self.kind = kind
+        self.payload = payload
+
+
+class DeclF:
+    """A ``DeclVar`` statement mid-way through its declarator list."""
+
+    __slots__ = ("stmt", "i")
+
+    def __init__(self, stmt: ast.DeclVar, i: int = 0):
+        self.stmt = stmt
+        self.i = i
+
+
+# ---------------------------------------------------------------------------
+# trail forest
+# ---------------------------------------------------------------------------
+
+class SpecTrail:
+    """One line of execution: a label, a spawn path (region prefix
+    test = §4.3 abort), a frame stack, and its suspension state."""
+
+    __slots__ = ("label", "path", "parent_join", "branch_index", "frames",
+                 "alive", "waiting", "time_base")
+
+    def __init__(self, label: str, path: tuple,
+                 parent_join: Optional["SpecJoin"] = None,
+                 branch_index: int = 0):
+        self.label = label
+        self.path = path
+        self.parent_join = parent_join
+        self.branch_index = branch_index
+        self.frames: list = []
+        self.alive = True
+        #: None while runnable, else "ext"/"int"/"time"/"forever"/
+        #: "par"/"async"
+        self.waiting: Optional[str] = None
+        self.time_base = 0
+
+    def in_region(self, prefix: tuple) -> bool:
+        return self.path[:len(prefix)] == prefix
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "live" if self.alive else "dead"
+        return (f"<SpecTrail {self.label} {state} waiting={self.waiting} "
+                f"frames={len(self.frames)}>")
+
+
+@dataclass(eq=False)
+class SpecJoin:
+    """Rejoin bookkeeping for one execution of a parallel statement."""
+
+    node: ast.ParStmt
+    mode: str                 # "par" | "or" | "and"
+    owner: SpecTrail
+    region: tuple             # owner.path + (region_id,)
+    depth: int                # syntactic nesting depth (§4.1 priority)
+    n_branches: int
+    completed: set = field(default_factory=set)
+    or_enqueued: bool = False
+    value: Any = None
+    has_value: bool = False
+    cancelled: bool = False
+
+    def branch_done(self, index: int) -> bool:
+        self.completed.add(index)
+        return self.mode == "and" and len(self.completed) == self.n_branches
+
+
+@dataclass(eq=False)
+class SpecEscape:
+    """A pending one-hop escape (break/return crossing a parallel)."""
+
+    trail: SpecTrail
+    signal: Any               # BreakSig | ReturnSig
+    cancelled: bool = False
+
+
+# ---------------------------------------------------------------------------
+# the run stack: who is executing *right now* within the reaction
+# ---------------------------------------------------------------------------
+
+class RunF:
+    """An executing trail.  ``pending`` is the resume mode to deliver on
+    the first step: ("start",) | ("value", v) | ("done", v) |
+    ("escape", sig); None once delivered."""
+
+    __slots__ = ("trail", "pending")
+
+    def __init__(self, trail: SpecTrail, pending: tuple):
+        self.trail = trail
+        self.pending: Optional[tuple] = pending
+
+
+class EmitF:
+    """One entry of the §2.2 pending-emit stack: an in-flight internal
+    emission whose awakened trails run to halt (in ``queue`` order)
+    before the emitter below resumes."""
+
+    __slots__ = ("name", "value", "queue")
+
+    def __init__(self, name: str, value: Any, queue: list):
+        self.name = name
+        self.value = value
+        self.queue = queue
+
+
+# ---------------------------------------------------------------------------
+# async jobs (§2.7–2.8)
+# ---------------------------------------------------------------------------
+
+class ASeqF:
+    """Program point inside an ``async`` body."""
+
+    __slots__ = ("stmts", "i")
+
+    def __init__(self, stmts: list, i: int = 0):
+        self.stmts = stmts
+        self.i = i
+
+
+class ALoopF:
+    """An entered ``loop`` inside an ``async``; ``restart`` is set at
+    the back edge so the re-entry happens *after* the tick yield."""
+
+    __slots__ = ("node", "restart")
+
+    def __init__(self, node: ast.Loop):
+        self.node = node
+        self.restart = False
+
+
+class SpecJob:
+    """One executing ``async`` block."""
+
+    __slots__ = ("seq", "node", "owner", "path", "frames", "done",
+                 "aborted", "result")
+
+    def __init__(self, seq: int, node: ast.AsyncBlock, owner: SpecTrail):
+        self.seq = seq
+        self.node = node
+        self.owner = owner
+        self.path = owner.path
+        self.frames: list = [ASeqF(node.body.stmts)]
+        self.done = False
+        self.aborted = False
+        self.result: Any = None
+
+    def in_region(self, prefix: tuple) -> bool:
+        return self.path[:len(prefix)] == prefix
+
+
+__all__ = [
+    "ALoopF", "ASeqF", "BindF", "BoundaryF", "BreakSig", "DeclF", "EmitF",
+    "LoopF", "ReturnSig", "RunF", "SeqF", "SpecEscape", "SpecJob",
+    "SpecJoin", "SpecTrail", "VarSymbol",
+]

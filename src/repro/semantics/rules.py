@@ -1,0 +1,235 @@
+"""Statement-level small-step rules of the reference semantics.
+
+Each rule advances one trail by **one statement** (or one control
+transition) and returns the trail's new status:
+
+* ``"continue"`` — the trail is still runnable (more zero-time work);
+* ``"halt"``     — the trail suspended (await / par / async / forever);
+* ``"emit"``     — the statement pushed a pending-emit frame; the trail
+  stays suspended *under* it until the emission drains (§2.2);
+* ``"dead"``     — the trail completed or escaped out of its root.
+
+The rule names in the golden transcripts (``[exec]``, ``[emit-push]``,
+``[loop]``, ``[escape]``, …) map to the notation of docs/SEMANTICS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..lang import ast
+from ..lang.errors import RuntimeCeuError
+from ..runtime.values import as_int, truthy
+from .config import (BindF, BoundaryF, BreakSig, DeclF, LoopF, ReturnSig,
+                     SeqF, SpecTrail)
+
+CONTINUE = "continue"
+HALT = "halt"
+EMIT = "emit"
+DEAD = "dead"
+
+#: statements with no control effect — [exec-pure]
+_PURE = (ast.Nothing, ast.DeclEvent, ast.PureDecl, ast.DeterministicDecl,
+         ast.CBlockStmt)
+_AWAITS = (ast.AwaitExt, ast.AwaitInt, ast.AwaitTime, ast.AwaitExp,
+           ast.AwaitForever)
+_SET_AWAITS = (ast.AwaitExt, ast.AwaitInt, ast.AwaitTime, ast.AwaitExp)
+
+
+class StatementRules:
+    """Mixin over :class:`repro.semantics.machine.Machine` holding the
+    per-statement transition rules.  The machine supplies the store
+    (``self.ev`` / ``self.memory``), the registries, and the recording
+    hooks (``_note_step`` / ``_note``)."""
+
+    # ----------------------------------------------------------- stepping
+    def _step_trail(self, trail: SpecTrail) -> str:
+        """Apply one control rule to ``trail``."""
+        guard = 0
+        while True:
+            guard += 1
+            if guard > 10_000:  # pragma: no cover - bounded check backstop
+                raise RuntimeCeuError(
+                    "semantics: control transition did not reach a "
+                    "statement (await-free loop?)")
+            if not trail.frames:
+                self._trail_completed(trail)
+                return DEAD
+            top = trail.frames[-1]
+            if isinstance(top, SeqF):
+                if top.i >= len(top.stmts):
+                    trail.frames.pop()
+                    status = self._fallthrough(trail)
+                    if status is not None:
+                        return status
+                    continue
+                stmt = top.stmts[top.i]
+                top.i += 1
+                return self._exec_stmt(trail, stmt)
+            if isinstance(top, DeclF):
+                status = self._decl_step(trail, top)
+                if status is not None:
+                    return status
+                continue
+            raise RuntimeCeuError(  # pragma: no cover - machine invariant
+                f"semantics: unexpected top frame {type(top).__name__}")
+
+    def _fallthrough(self, trail: SpecTrail):
+        """A block ran dry — resolve the construct it belonged to."""
+        if not trail.frames:
+            return None                      # trail root: completion
+        top = trail.frames[-1]
+        if isinstance(top, LoopF):           # [loop-again]
+            trail.frames.append(SeqF(top.node.body.stmts))
+            return None
+        if isinstance(top, BoundaryF):       # [do-fall]: value 0
+            trail.frames.pop()
+            self._deliver(trail, 0)
+            return None
+        return None                          # DeclF / BindF: keep going
+
+    def _decl_step(self, trail: SpecTrail, declf: DeclF):
+        """Process one declarator of a ``DeclVar`` — [decl]."""
+        if declf.i >= len(declf.stmt.decls):
+            trail.frames.pop()
+            return None
+        declarator = declf.stmt.decls[declf.i]
+        declf.i += 1
+        sym = self.bound.sym_of_decl[declarator.nid]
+        if declarator.init is None:
+            self.memory.declare(sym)
+            return None
+        if isinstance(declarator.init, ast.Exp):
+            self.memory.write(sym, self.ev.eval(declarator.init))
+            return None
+        trail.frames.append(BindF("decl", sym))
+        return self._start_setexp(trail, declarator.init)
+
+    # ------------------------------------------------------- value plumbing
+    def _deliver(self, trail: SpecTrail, value: Any) -> None:
+        """A value arrived at the trail's program point — [bind] if a
+        destination is pending, discarded otherwise."""
+        if trail.frames and isinstance(trail.frames[-1], BindF):
+            bindf = trail.frames.pop()
+            if bindf.kind == "assign":
+                self.ev.assign(bindf.payload, value)
+            else:                            # "decl"
+                self.memory.write(bindf.payload, value)
+
+    def _start_setexp(self, trail: SpecTrail, node: ast.Node) -> str:
+        """Begin a statement-valued right-hand side (mirrors the VM's
+        ``exec_setexp``: the inner construct itself records no step)."""
+        if isinstance(node, _SET_AWAITS):
+            return self._exec_await(trail, node)
+        if isinstance(node, ast.DoBlock):
+            if node.nid in self.bound.value_boundaries:
+                trail.frames.append(BoundaryF(node))
+            trail.frames.append(SeqF(node.body.stmts))
+            return CONTINUE
+        if isinstance(node, ast.ParStmt):
+            return self._exec_par(trail, node)
+        if isinstance(node, ast.AsyncBlock):
+            return self._exec_async(trail, node)
+        raise RuntimeCeuError("invalid right-hand side", node.span)
+
+    # ----------------------------------------------------------- statements
+    def _exec_stmt(self, trail: SpecTrail, s: ast.Stmt) -> str:
+        self._note_step(trail, s)
+        if isinstance(s, _PURE):
+            return CONTINUE
+        if isinstance(s, ast.DeclVar):
+            trail.frames.append(DeclF(s))
+            return CONTINUE
+        if isinstance(s, _AWAITS):
+            return self._exec_await(trail, s)
+        if isinstance(s, ast.EmitInt):       # [emit-push] / [emit-skip]
+            value = None if s.value is None else self.ev.eval(s.value)
+            return self._emit_internal(self.bound.event_of[s.nid], value,
+                                       trail)
+        if isinstance(s, ast.EmitExt):       # [emit-out]
+            value = None if s.value is None else self.ev.eval(s.value)
+            self.outputs.append((self.bound.event_of[s.nid].name, value))
+            return CONTINUE
+        if isinstance(s, ast.If):            # [if]
+            if truthy(self.ev.eval(s.cond)):
+                trail.frames.append(SeqF(s.then.stmts))
+            elif s.orelse is not None:
+                trail.frames.append(SeqF(s.orelse.stmts))
+            return CONTINUE
+        if isinstance(s, ast.Loop):          # [loop-enter]
+            trail.frames.append(LoopF(s))
+            trail.frames.append(SeqF(s.body.stmts))
+            return CONTINUE
+        if isinstance(s, ast.Break):         # [break]
+            return self._unwind(trail,
+                                BreakSig(self.bound.break_target[s.nid]))
+        if isinstance(s, ast.Return):        # [return]
+            value = None if s.value is None else self.ev.eval(s.value)
+            return self._unwind(
+                trail, ReturnSig(self.bound.ret_boundary.get(s.nid), value))
+        if isinstance(s, ast.ParStmt):       # [par-spawn]
+            return self._exec_par(trail, s)
+        if isinstance(s, ast.CCallStmt):     # [c-call]
+            self.ev.call(s.call)
+            return CONTINUE
+        if isinstance(s, ast.CallStmt):
+            self.ev.eval(s.exp)
+            return CONTINUE
+        if isinstance(s, ast.Assign):        # [assign]
+            if isinstance(s.value, ast.Exp):
+                self.ev.assign(s.target, self.ev.eval(s.value))
+                return CONTINUE
+            trail.frames.append(BindF("assign", s.target))
+            return self._start_setexp(trail, s.value)
+        if isinstance(s, ast.DoBlock):       # [do-enter]
+            if s.nid in self.bound.value_boundaries:
+                trail.frames.append(BoundaryF(s))
+            trail.frames.append(SeqF(s.body.stmts))
+            return CONTINUE
+        if isinstance(s, ast.AsyncBlock):    # [async-spawn]
+            return self._exec_async(trail, s)
+        raise RuntimeCeuError(f"unhandled statement {type(s).__name__}",
+                              s.span)
+
+    # --------------------------------------------------------------- awaits
+    def _exec_await(self, trail: SpecTrail, s: ast.Stmt) -> str:
+        if isinstance(s, ast.AwaitExt):      # [await-ext]
+            sym = self.bound.event_of[s.nid]
+            self.ext_waiting.setdefault(sym.name, []).append(trail)
+            trail.waiting = "ext"
+            return HALT
+        if isinstance(s, ast.AwaitInt):      # [await-int]
+            sym = self.bound.event_of[s.nid]
+            self.int_waiting.setdefault(sym.name, []).append(trail)
+            trail.waiting = "int"
+            return HALT
+        if isinstance(s, ast.AwaitTime):     # [timer-arm]
+            self._arm_timer(trail, s.time.us, computed=0)
+            return HALT
+        if isinstance(s, ast.AwaitExp):      # [timer-arm] (computed)
+            us = as_int(self.ev.eval(s.exp), "await timeout")
+            self._arm_timer(trail, us, computed=1)
+            return HALT
+        if isinstance(s, ast.AwaitForever):  # [await-forever]
+            self.forever.append(trail)
+            trail.waiting = "forever"
+            return HALT
+        raise RuntimeCeuError("bad await", s.span)
+
+    # ------------------------------------------------------------ unwinding
+    def _unwind(self, trail: SpecTrail, sig) -> str:
+        """Pop frames until the signal's target construct — or escape
+        out of the trail root ([escape-par] / [terminate])."""
+        while trail.frames:
+            frame = trail.frames.pop()
+            if (isinstance(frame, LoopF) and isinstance(sig, BreakSig)
+                    and frame.node is sig.target):
+                self._note(f"[break] -> loop@"
+                           f"{frame.node.span.start.line}")
+                return CONTINUE
+            if (isinstance(frame, BoundaryF) and isinstance(sig, ReturnSig)
+                    and frame.node is sig.boundary):
+                self._deliver(trail, sig.value)
+                return CONTINUE
+        self._trail_signal(trail, sig)
+        return DEAD

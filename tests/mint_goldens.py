@@ -18,6 +18,12 @@ rerun this when the analysis output deliberately changes.
 Prometheus exposition of the CI farm-smoke workload (1000 blink
 instances, 2s), pinned by ``tests/test_farm.py`` and the farm-smoke CI
 job.  Rerun after an intentional metrics/exposition change.
+
+``--semantics`` regenerates ``semantics_*.txt`` — the reference
+semantics' rule-application transcript for every corpus program under
+its recorded script, pinned byte-exact by ``tests/test_semantics.py``.
+Rerun only when the reference semantics deliberately changes (which
+should be rare: it is the spec).
 """
 
 import json
@@ -169,9 +175,47 @@ def mint_farm(out: Path) -> None:
     print(f"farm_blink.prom: {len(text.splitlines())} exposition lines")
 
 
+def semantics_transcript(src: str, script: list, name: str) -> str:
+    """The canonical semantics golden for one (program, script) pair:
+    the rule-application transcript, the reaction trace, and the final
+    observables.  Shared by the minter and ``tests/test_semantics.py``
+    so the golden diff is byte-exact by construction."""
+    from repro.fuzz.gen import script_text
+    from repro.semantics import run_script
+
+    machine = run_script(src, script, transcript=True)
+    parts = [f"== program {name}",
+             "== script " + (" / ".join(
+                 script_text(script).splitlines()) or "(none)"),
+             "== rules",
+             machine.transcript(),
+             "== trace",
+             machine.render(),
+             f"== final done={machine.done} result={machine.result} "
+             f"steps={machine.steps_executed}"]
+    output = machine.output()
+    if output:
+        parts.append("== output\n" + output.rstrip("\n"))
+    return "\n".join(parts) + "\n"
+
+
+def mint_semantics(out: Path) -> None:
+    corpus = Path(__file__).parent / "corpus"
+    for path in sorted(corpus.glob("*.ceu")):
+        case = json.loads(path.with_suffix(".json").read_text())
+        script = [tuple(item) for item in case["script"]]
+        text = semantics_transcript(path.read_text(), script,
+                                    f"corpus/{path.name}")
+        (out / f"semantics_{path.stem}.txt").write_text(text)
+        print(f"semantics_{path.stem}.txt: "
+              f"{len(text.splitlines())} lines")
+
+
 if __name__ == "__main__":
     sys.path.insert(0, str(Path(__file__).parent))
     if "--farm" in sys.argv:
         mint_farm(Path(__file__).parent / "goldens")
+    elif "--semantics" in sys.argv:
+        mint_semantics(Path(__file__).parent / "goldens")
     else:
         mint(Path(__file__).parent / "goldens")
