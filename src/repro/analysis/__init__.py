@@ -9,16 +9,19 @@ from the DFA, and renders text / JSON / SARIF 2.1.0 reports
 (``repro lint``).
 """
 
-from .bounds import ResourceBounds, compute_bounds
+from .bounds import ResourceBounds, TrailBounds, compute_bounds, \
+    compute_trail_bounds
 from .diagnostics import Diagnostic, Report, Severity
 from .engine import run_analysis
+from .incremental import IncrementalAnalyzer
 from .sarif import sarif_json, to_sarif
 from .witness import Witness
 
 __all__ = [
     "Diagnostic", "Report", "Severity",
-    "ResourceBounds", "compute_bounds",
+    "ResourceBounds", "TrailBounds", "compute_bounds",
+    "compute_trail_bounds",
     "Witness",
-    "run_analysis",
+    "run_analysis", "IncrementalAnalyzer",
     "to_sarif", "sarif_json",
 ]

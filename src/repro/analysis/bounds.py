@@ -27,9 +27,42 @@ from dataclasses import dataclass
 
 from ..codegen.memlayout import HOST, TARGET16, TargetABI, build_layout
 from ..dfa.builder import Dfa
+from ..lang import ast
 from ..sema.binder import BoundProgram
 
 _TIMERISH = ("time", "tunk")
+
+
+@dataclass(frozen=True)
+class TrailBounds:
+    """Static memory attribution for one trail frame — the root block or
+    one branch of a ``par`` (anywhere in the program).  Variables of a
+    frame are those declared in its subtree *excluding* nested parallel
+    branches, which own their declarations; frame byte figures therefore
+    tile the §4.2 side-by-side layout.  The LSP hover surfaces these
+    per-construct figures."""
+
+    label: str                 # "root" | "par/or branch 2" | ...
+    line: int                  # 1-based source extent of the frame
+    end_line: int
+    mem_slots: int
+    mem_bytes_host: int
+    mem_bytes_target16: int
+
+    def as_dict(self) -> dict:
+        return {
+            "label": self.label,
+            "line": self.line,
+            "end_line": self.end_line,
+            "mem_slots": self.mem_slots,
+            "mem_bytes_host": self.mem_bytes_host,
+            "mem_bytes_target16": self.mem_bytes_target16,
+        }
+
+    def summary(self) -> str:
+        return (f"{self.label}: slots={self.mem_slots} "
+                f"bytes(host)={self.mem_bytes_host} "
+                f"bytes(target16)={self.mem_bytes_target16}")
 
 
 @dataclass(frozen=True)
@@ -43,6 +76,7 @@ class ResourceBounds:
     mem_bytes_target16: int
     dfa_states: int
     dfa_transitions: int
+    per_trail: tuple[TrailBounds, ...] = ()
 
     def mem_bytes(self, abi: TargetABI) -> int:
         return (self.mem_bytes_target16 if abi.name == "target16"
@@ -59,7 +93,19 @@ class ResourceBounds:
             "mem_bytes_target16": self.mem_bytes_target16,
             "dfa_states": self.dfa_states,
             "dfa_transitions": self.dfa_transitions,
+            "per_trail": [t.as_dict() for t in self.per_trail],
         }
+
+    def trail_at(self, line: int) -> "TrailBounds | None":
+        """The innermost frame whose extent covers ``line`` (hover)."""
+        best = None
+        for trail in self.per_trail:
+            if trail.line <= line <= trail.end_line:
+                if (best is None
+                        or (trail.end_line - trail.line
+                            <= best.end_line - best.line)):
+                    best = trail
+        return best
 
     def summary(self) -> str:
         return (f"trails<={self.max_trails} "
@@ -68,6 +114,61 @@ class ResourceBounds:
                 f"emit-depth<={self.max_internal_emits} "
                 f"mem-slots<={self.mem_slots} "
                 f"mem-bytes(host)<={self.mem_bytes_host}")
+
+
+def _frame_vars(block: ast.Block, bound: BoundProgram) -> list:
+    """Variable symbols declared in a frame's subtree, excluding nested
+    ``par`` branches (each branch is its own frame)."""
+    syms: list = []
+
+    def visit_stmt(s: ast.Node) -> None:
+        if isinstance(s, ast.DeclVar):
+            syms.extend(bound.sym_of_decl[d.nid] for d in s.decls)
+            for d in s.decls:
+                if d.init is not None and not isinstance(d.init, ast.Exp):
+                    visit_stmt(d.init)
+        elif isinstance(s, ast.If):
+            visit_block(s.then)
+            if s.orelse is not None:
+                visit_block(s.orelse)
+        elif isinstance(s, (ast.Loop, ast.DoBlock, ast.AsyncBlock)):
+            visit_block(s.body)
+        elif isinstance(s, ast.Assign) and not isinstance(s.value, ast.Exp):
+            visit_stmt(s.value)
+        # ParStmt: nested frames own their declarations
+
+    def visit_block(b: ast.Block) -> None:
+        for stmt in b.stmts:
+            visit_stmt(stmt)
+
+    visit_block(block)
+    return syms
+
+
+def compute_trail_bounds(bound: BoundProgram, host=None,
+                         t16=None) -> tuple[TrailBounds, ...]:
+    """Per-frame memory attribution: the root block plus every branch of
+    every ``par``, in deterministic pre-order.  Callers that already
+    built the ABI layouts may pass them to avoid rebuilding."""
+    host = build_layout(bound, HOST) if host is None else host
+    t16 = build_layout(bound, TARGET16) if t16 is None else t16
+    frames: list[tuple[str, ast.Block]] = [("root", bound.program.body)]
+    for node in bound.program.walk():
+        if isinstance(node, ast.ParStmt):
+            for i, blk in enumerate(node.blocks, start=1):
+                frames.append((f"{node.keyword} branch {i}", blk))
+    out = []
+    for label, blk in frames:
+        syms = _frame_vars(blk, bound)
+        out.append(TrailBounds(
+            label=label,
+            line=blk.span.start.line,
+            end_line=blk.span.end.line,
+            mem_slots=len(syms),
+            mem_bytes_host=sum(host.sizes[s] for s in syms),
+            mem_bytes_target16=sum(t16.sizes[s] for s in syms),
+        ))
+    return tuple(out)
 
 
 def compute_bounds(bound: BoundProgram, dfa: Dfa) -> ResourceBounds:
@@ -98,4 +199,5 @@ def compute_bounds(bound: BoundProgram, dfa: Dfa) -> ResourceBounds:
         mem_bytes_target16=build_layout(bound, TARGET16).total,
         dfa_states=dfa.state_count(),
         dfa_transitions=dfa.transition_count(),
+        per_trail=compute_trail_bounds(bound),
     )

@@ -108,8 +108,12 @@ class Diagnostic:
         return "\n".join(lines)
 
     def sort_key(self) -> tuple:
-        return (self.span.start.line, self.span.start.col,
-                _SEV_RANK[self.severity], self.code, self.message)
+        # (path, line, col, severity, code, message): fully deterministic
+        # ordering, independent of pass scheduling, so incremental-vs-cold
+        # comparisons and goldens are stable
+        return (self.span.filename, self.span.start.line,
+                self.span.start.col, _SEV_RANK[self.severity], self.code,
+                self.message)
 
     def to_dict(self) -> dict:
         out: dict = {

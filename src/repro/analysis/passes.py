@@ -71,10 +71,13 @@ def bounded_pass(bound: BoundProgram, report: Report) -> int:
 
 
 # -------------------------------------------------------------- liveness
-def liveness_pass(bound: BoundProgram, report: Report) -> None:
+def liveness_pass(bound: BoundProgram, report: Report,
+                  nodes=None) -> None:
+    """``nodes`` may pass a pre-computed ``bound.program.walk()`` list
+    so incremental callers pay for one tree walk, not several."""
     emits: dict[int, list[ast.Node]] = {}
     awaits: dict[int, list[ast.Node]] = {}
-    for node in bound.program.walk():
+    for node in (bound.program.walk() if nodes is None else nodes):
         if isinstance(node, ast.EmitInt):
             sym = bound.event_of[node.nid]
             if sym.is_internal:
@@ -120,10 +123,14 @@ def _dedupe_key(c: Conflict) -> tuple:
 
 def conflict_pass(source: str, bound: BoundProgram, dfa: Dfa,
                   report: Report, witnesses: bool = True,
-                  verify: bool = True) -> None:
+                  verify: bool = True
+                  ) -> list[tuple[str, Conflict, Optional["Witness"]]]:
+    """Emit CEU-E20x diagnostics; returns the ``(code, conflict,
+    witness)`` triples in emission order so the incremental analyzer can
+    replay them with rebased spans."""
     if not dfa.conflicts:
         report.stages.append("conflicts")
-        return
+        return []
     paths = shortest_paths(dfa) if witnesses else {}
 
     def path_of(c: Conflict) -> Optional[list[str]]:
@@ -141,6 +148,7 @@ def conflict_pass(source: str, bound: BoundProgram, dfa: Dfa,
         key = _dedupe_key(c)
         if key not in best or length < best[key][0]:
             best[key] = (length, c)
+    entries: list[tuple[str, Conflict, Optional[Witness]]] = []
     for _, conflict in sorted(
             best.values(),
             key=lambda item: (item[1].first.span.start.offset,
@@ -160,14 +168,21 @@ def conflict_pass(source: str, bound: BoundProgram, dfa: Dfa,
             code, conflict.message(), conflict.first.span,
             notes=[(conflict.second.describe(), conflict.second.span)],
             witness=witness)
+        entries.append((code, conflict, witness))
     report.stages.append("conflicts")
+    return entries
 
 
 # ------------------------------------------------------------------ stuck
-def stuck_pass(bound: BoundProgram, dfa: Dfa, report: Report) -> None:
+def stuck_pass(bound: BoundProgram, dfa: Dfa,
+               report: Report) -> list[tuple[str, Optional[int]]]:
+    """Emit CEU-W305 diagnostics; returns ``(message, anchor_nid)``
+    pairs (the nid of the node whose span anchors the diagnostic, or
+    ``None`` for the file-level fallback span) for incremental replay."""
     node_of = {n.nid: n for n in bound.program.walk()}
     has_succ = {src for src, _, _ in dfa.edges}
     seen: set[tuple] = set()
+    entries: list[tuple[str, Optional[int]]] = []
     for state in dfa.states:
         if state.terminal or state.index in has_succ:
             continue
@@ -178,14 +193,16 @@ def stuck_pass(bound: BoundProgram, dfa: Dfa, report: Report) -> None:
             continue
         seen.add(fore_nids)
         span = node_of[fore_nids[0]].span if fore_nids else None
+        message = (f"trails are permanently stuck in DFA state "
+                   f"#{state.index} ({state.describe(bound)}): no input, "
+                   f"timer or async can ever fire again")
         report.add(
-            "CEU-W305",
-            f"trails are permanently stuck in DFA state "
-            f"#{state.index} ({state.describe(bound)}): no input, timer "
-            f"or async can ever fire again",
+            "CEU-W305", message,
             span if span is not None
             else SourceSpan.point(0, 0, filename=report.filename))
+        entries.append((message, fore_nids[0] if fore_nids else None))
     report.stages.append("stuck")
+    return entries
 
 
 # ----------------------------------------------------------------- bounds

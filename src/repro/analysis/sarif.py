@@ -75,11 +75,14 @@ def _result(diag: Diagnostic, uri: str) -> dict:
 
 
 def to_sarif(reports: Iterable[Report]) -> dict:
-    results = []
+    # global (path, line, col, severity, code) order across all files, so
+    # the emitted results never depend on argument or pass ordering
+    pairs: list[tuple[Report, Diagnostic]] = []
     for report in reports:
-        uri = report.filename
-        for diag in report.sorted():
-            results.append(_result(diag, uri))
+        for diag in report.diagnostics:
+            pairs.append((report, diag))
+    pairs.sort(key=lambda pair: (pair[0].filename, pair[1].sort_key()))
+    results = [_result(diag, report.filename) for report, diag in pairs]
     return {
         "$schema": SARIF_SCHEMA,
         "version": SARIF_VERSION,

@@ -226,6 +226,9 @@ def _minimise(source: str, script: list, want: set[int]) -> list[tuple]:
         return [tuple(item) for item in result.script]
     except Exception:     # minimisation must never kill the lint
         return script[:]
+
+
+def _labels_to_nominal_script(labels: list[str]) -> list[tuple]:
     """Best-effort script without running the VM (verify=False mode):
     events with value 1; timers cannot be resolved statically."""
     script: list[tuple] = []

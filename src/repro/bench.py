@@ -62,6 +62,9 @@ BASELINE_PATH = BENCH_DIR / "BENCH_baseline.json"
 #: the reactor-farm record (``--farm``; recorded, not gated)
 FARM_PATH = BENCH_DIR / "BENCH_farm.json"
 
+#: the incremental-analysis record (``--analysis``; recorded, not gated)
+ANALYSIS_PATH = BENCH_DIR / "BENCH_analysis.json"
+
 #: overhead ratios gated against the baseline.  The ``causal`` mode
 #: (CausalGraph subscribed) is *recorded* in snapshots but not gated:
 #: older baselines predate it, and its cost tracks the full-export modes
@@ -279,7 +282,108 @@ def bench_farm(n_instances: Optional[int] = None,
     }
 
 
-def snapshot(repeats: int = 3, farm: bool = False) -> dict:
+def _analysis_corpus() -> list[Path]:
+    root = Path(__file__).resolve().parents[2]
+    return (sorted((root / "examples" / "ceu").glob("*.ceu"))
+            + sorted((root / "tests" / "corpus").glob("*.ceu")))
+
+
+def _comment_edit(source: str) -> str:
+    """A single-region edit: one comment line inserted mid-file."""
+    lines = source.splitlines(keepends=True)
+    mid = len(lines) // 2
+    return "".join(lines[:mid]) + "// bench edit\n" + "".join(lines[mid:])
+
+
+def _literal_edit(source: str) -> Optional[str]:
+    """A single-region edit that changes program values: the first
+    ``= <int>`` initializer/assignment bumped by one."""
+    import re
+
+    for match in re.finditer(r"=\s*(\d+)\b", source):
+        head = source[:match.start()].rsplit("\n", 1)[-1]
+        if "//" in head:
+            continue                   # inside a line comment
+        return (source[:match.start(1)] + str(int(match.group(1)) + 1)
+                + source[match.end(1):])
+    return None
+
+
+def bench_analysis(repeats: int = 3) -> dict:
+    """Incremental-vs-cold lint latency over examples + corpus.
+
+    For each file, times a cold ``run_analysis`` and the
+    :class:`~repro.analysis.IncrementalAnalyzer` re-analysis of two
+    single-region edit kinds — a comment insertion (token stream
+    unchanged: full DFA replay) and an integer-literal bump (masked
+    token stream unchanged: DFA replay unless the file has conflicts).
+    Every incremental report is verified byte-identical to the cold run
+    of the same text.  Recorded, never gated — absolute times measure
+    the machine; the per-file speedups and the identical flags are the
+    trajectory."""
+    from .analysis import IncrementalAnalyzer, run_analysis
+
+    per_file = []
+    identical = True
+    for path in _analysis_corpus():
+        source = path.read_text()
+        name = str(path.relative_to(path.parents[2]))
+        cold_s = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            run_analysis(source, name)
+            cold_s = min(cold_s, time.perf_counter() - start)
+        entry = {"file": name, "cold_s": cold_s}
+        edits = {"comment": _comment_edit(source)}
+        literal = _literal_edit(source)
+        if literal is not None and literal != source:
+            edits["literal"] = literal
+        analyzer = IncrementalAnalyzer(filename=name)
+        analyzer.analyze(source)
+        for kind, edited in edits.items():
+            ok = (analyzer.analyze(edited).to_json()
+                  == run_analysis(edited, name).to_json())
+            analyzer.analyze(source)   # prime back to the unedited text
+            inc_s = float("inf")
+            for r in range(repeats):
+                start = time.perf_counter()
+                analyzer.analyze(edited)
+                inc_s = min(inc_s, time.perf_counter() - start)
+                analyzer.analyze(source)
+            identical = identical and ok
+            entry[kind] = {
+                "incremental_s": inc_s,
+                "speedup": cold_s / inc_s if inc_s else 0.0,
+                "identical": ok,
+            }
+        entry["stats"] = dict(analyzer.stats)
+        per_file.append(entry)
+
+    def _geomean(values: list[float]) -> float:
+        import math
+
+        values = [v for v in values if v > 0]
+        if not values:
+            return 0.0
+        return math.exp(sum(math.log(v) for v in values) / len(values))
+
+    comment_speedups = [e["comment"]["speedup"] for e in per_file]
+    return {
+        "workload": {"files": len(per_file), "repeats": repeats},
+        "per_file": per_file,
+        "summary": {
+            "comment_speedup_geomean": _geomean(comment_speedups),
+            "comment_speedup_min": min(comment_speedups, default=0.0),
+            "literal_speedup_geomean": _geomean(
+                [e["literal"]["speedup"] for e in per_file
+                 if "literal" in e]),
+            "all_identical": identical,
+        },
+    }
+
+
+def snapshot(repeats: int = 3, farm: bool = False,
+             analysis: bool = False) -> dict:
     """The full ``repro bench`` measurement (pure data, JSON-ready)."""
     import tempfile
 
@@ -294,6 +398,8 @@ def snapshot(repeats: int = 3, farm: bool = False) -> dict:
     }
     if farm:
         snap["farm"] = bench_farm()
+    if analysis:
+        snap["analysis"] = bench_analysis(repeats)
     return snap
 
 
@@ -358,7 +464,9 @@ def main(args) -> int:
     import sys
 
     with_farm = getattr(args, "farm", False)
-    snap = snapshot(repeats=args.repeats, farm=with_farm)
+    with_analysis = getattr(args, "analysis", False)
+    snap = snapshot(repeats=args.repeats, farm=with_farm,
+                    analysis=with_analysis)
     out_dir = Path(args.out) if args.out else BENCH_DIR
     out_dir.mkdir(parents=True, exist_ok=True)
     out = write_snapshot(snap, out_dir)
@@ -383,6 +491,21 @@ def main(args) -> int:
               f" B/instance "
               f"(drive overhead "
               f"{farm['overhead']['attached_vs_detached_drive']:.2f}x)")
+    if with_analysis:
+        analysis = snap["analysis"]
+        analysis_path = out_dir / ANALYSIS_PATH.name if args.out \
+            else ANALYSIS_PATH
+        analysis_path.write_text(
+            json.dumps(analysis, indent=2, sort_keys=True) + "\n")
+        summary = analysis["summary"]
+        print(f"wrote {analysis_path}")
+        print(f"analysis: {analysis['workload']['files']} files, "
+              f"comment-edit speedup geomean "
+              f"{summary['comment_speedup_geomean']:.1f}x "
+              f"(min {summary['comment_speedup_min']:.1f}x), "
+              f"literal-edit geomean "
+              f"{summary['literal_speedup_geomean']:.1f}x, "
+              f"identical={summary['all_identical']}")
     baseline_path = Path(args.baseline) if args.baseline \
         else BASELINE_PATH
     if args.update_baseline:
@@ -407,5 +530,6 @@ def main(args) -> int:
     return 0
 
 
-__all__ = ["SCHEMA", "bench_vm", "bench_stream", "bench_farm", "snapshot",
-           "write_snapshot", "check_regression", "make_fanout"]
+__all__ = ["SCHEMA", "bench_vm", "bench_stream", "bench_farm",
+           "bench_analysis", "snapshot", "write_snapshot",
+           "check_regression", "make_fanout"]

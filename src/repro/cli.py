@@ -114,16 +114,43 @@ def cmd_check(args) -> int:
     return 0
 
 
+def _changed_lines(base: str, new: str) -> set:
+    """1-based line numbers of ``new`` outside any equal block vs
+    ``base`` (the `--diff-base` filter)."""
+    import difflib
+
+    base_lines = base.splitlines(keepends=True)
+    new_lines = new.splitlines(keepends=True)
+    matcher = difflib.SequenceMatcher(None, base_lines, new_lines,
+                                      autojunk=False)
+    same = set()
+    for _a, b, size in matcher.get_matching_blocks():
+        same.update(range(b + 1, b + size + 1))
+    return set(range(1, len(new_lines) + 1)) - same
+
+
 def cmd_lint(args) -> int:
-    from .analysis import run_analysis, sarif_json
+    from .analysis import IncrementalAnalyzer, run_analysis, sarif_json
 
     reports = []
     for path in args.files:
         source = _load(path)
-        reports.append(run_analysis(
-            source, filename=path, max_states=args.max_states,
-            witnesses=not args.no_witness,
-            verify_witnesses=not args.no_verify))
+        if args.incremental:
+            analyzer = IncrementalAnalyzer(
+                filename=path, max_states=args.max_states,
+                witnesses=not args.no_witness,
+                verify_witnesses=not args.no_verify)
+            report = analyzer.analyze(source)
+        else:
+            report = run_analysis(
+                source, filename=path, max_states=args.max_states,
+                witnesses=not args.no_witness,
+                verify_witnesses=not args.no_verify)
+        if args.diff_base:
+            changed = _changed_lines(_load(args.diff_base), source)
+            report.diagnostics = [d for d in report.diagnostics
+                                  if d.span.start.line in changed]
+        reports.append(report)
     if args.format == "sarif":
         text = sarif_json(reports)
     elif args.format == "json":
@@ -142,6 +169,12 @@ def cmd_lint(args) -> int:
     if args.strict and any(r.errors for r in reports):
         return 1
     return 0
+
+
+def cmd_lsp(args) -> int:
+    from .lsp import main as lsp_main
+
+    return lsp_main()
 
 
 def _feed_inputs(program: Program, inputs) -> None:
@@ -547,7 +580,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--strict", action="store_true",
                    help="exit non-zero when any error-severity "
                         "diagnostic fired (CI gating)")
+    p.add_argument("--incremental", action="store_true",
+                   help="run through the incremental analysis engine "
+                        "(same output; exercises the LSP code path)")
+    p.add_argument("--diff-base", metavar="FILE", default=None,
+                   help="only report diagnostics on lines that changed "
+                        "relative to this baseline file")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "lsp", help="run the LSP server over stdio (diagnostics, "
+                    "hover bounds, go-to-definition)")
+    p.set_defaults(fn=cmd_lsp)
 
     p = sub.add_parser("run", help="execute on the reference VM")
     p.add_argument("file")
@@ -756,6 +800,10 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also measure the reactor farm (attached vs "
                         "detached; recorded as benchmarks/BENCH_farm.json"
                         ", never gated)")
+    p.add_argument("--analysis", action="store_true",
+                   help="also measure incremental-vs-cold lint latency "
+                        "(recorded as benchmarks/BENCH_analysis.json, "
+                        "never gated)")
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -358,3 +358,19 @@ SETEXP_STMTS = (AwaitExt, AwaitInt, AwaitTime, AwaitExp,
 
 #: All await statement forms.
 AWAITS = (AwaitExt, AwaitInt, AwaitTime, AwaitExp, AwaitForever)
+
+
+def renumber(root: Node) -> int:
+    """Reassign ``nid``s over ``root``'s subtree in deterministic
+    pre-order (1, 2, ...), returning the number of nodes.
+
+    Node ids are allocated from a process-global counter at construction
+    time, so two parses of the same source in one process get different
+    ids.  Passes that key on ``nid`` across parses — the analysis engine
+    and the incremental analyzer's replay maps — renumber first so ids
+    are a pure function of program structure.
+    """
+    count = 0
+    for count, node in enumerate(root.walk(), start=1):
+        node.nid = count
+    return count

@@ -37,6 +37,12 @@ class Lexer:
         self.pos = 0
         self.line = 1
         self.col = 1
+        #: spans of ``/* ... */`` comments, recorded as they are skipped.
+        #: The incremental analyzer uses the multi-line ones to keep
+        #: region extents from splitting a comment in half.  (The ``C do``
+        #: lookahead re-scans trivia after a position restore, so the list
+        #: may contain duplicates — consumers treat it as a set.)
+        self.comments: list[SourceSpan] = []
 
     # ----------------------------------------------------------- plumbing
     def _peek(self, ahead: int = 0) -> str:
@@ -79,6 +85,7 @@ class Lexer:
                 while self.pos < len(self.src):
                     if self._peek() == "*" and self._peek(1) == "/":
                         self._advance(2)
+                        self.comments.append(self._span(start))
                         break
                     self._advance()
                 else:

@@ -37,10 +37,22 @@ _BLOCK_ENDERS = ("end", "with", "else")
 
 
 class Parser:
-    def __init__(self, src: str, filename: str = "<ceu>"):
-        self.toks = tokenize(src, filename)
+    def __init__(self, src: str, filename: str = "<ceu>",
+                 tokens: Optional[list[Token]] = None,
+                 track_extents: bool = False):
+        self.toks = tokenize(src, filename) if tokens is None else tokens
         self.idx = 0
         self.filename = filename
+        #: when ``track_extents`` is set, the exact token-index range
+        #: ``[start, end)`` consumed by each statement of each block —
+        #: the incremental analyzer derives region extents and its
+        #: nested damage-recovery tree from these (plain statement spans
+        #: only cover the first token for declarations).  Keyed by
+        #: ``id(block)``; valid while the AST is alive.
+        self.track_extents = track_extents
+        self.toplevel_marks: list[tuple[ast.Stmt, int, int]] = []
+        self.block_marks: dict[int, list[tuple[ast.Stmt, int, int]]] = {}
+        self.block_ranges: dict[int, tuple[int, int]] = {}
 
     # ----------------------------------------------------------- plumbing
     def _peek(self, ahead: int = 0) -> Token:
@@ -93,6 +105,8 @@ class Parser:
     def _parse_block(self, top: bool = False) -> ast.Block:
         stmts: list[ast.Stmt] = []
         start = self._peek().span
+        marks: list[tuple[ast.Stmt, int, int]] = []
+        block_start = self.idx
         while True:
             while self._accept_sym(";"):
                 pass
@@ -105,9 +119,21 @@ class Parser:
                 if top:
                     raise self._error(f"`{tok.text}` outside of a block")
                 break
-            stmts.append(self._parse_stmt())
+            if self.track_extents:
+                mark_start = self.idx
+                stmt = self._parse_stmt()
+                marks.append((stmt, mark_start, self.idx))
+                stmts.append(stmt)
+            else:
+                stmts.append(self._parse_stmt())
         span = start if not stmts else stmts[0].span.merge(stmts[-1].span)
-        return ast.Block(stmts=stmts, span=span)
+        block = ast.Block(stmts=stmts, span=span)
+        if self.track_extents:
+            self.block_marks[id(block)] = marks
+            self.block_ranges[id(block)] = (block_start, self.idx)
+            if top:
+                self.toplevel_marks = marks
+        return block
 
     # ---------------------------------------------------------- statements
     def _parse_stmt(self) -> ast.Stmt:
@@ -326,7 +352,8 @@ class Parser:
         mode = {"par": "par", "par/or": "or", "par/and": "and"}[start.text]
         self._expect_kw("do")
         blocks = [self._parse_block()]
-        while self._accept_kw("with"):
+        while self._peek().is_kw("with"):
+            self._next()
             blocks.append(self._parse_block())
         end = self._expect_kw("end")
         if len(blocks) < 2:

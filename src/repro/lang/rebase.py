@@ -1,0 +1,36 @@
+"""Span rebasing for incremental re-analysis.
+
+When an edit only moves a region of source up or down (and/or changes
+the byte offset of its start), every span inside the region shifts by a
+constant ``(dline, doffset)`` while columns stay put — edits are spliced
+at line granularity, so a surviving region always starts at the same
+column.  These helpers apply that shift to positions, spans, and whole
+AST subtrees; :mod:`repro.analysis.incremental` uses them to replay
+memoized diagnostics at their new coordinates.
+"""
+
+from __future__ import annotations
+
+from . import ast
+from .errors import SourcePos, SourceSpan
+
+
+def shift_pos(pos: SourcePos, dline: int, doffset: int) -> SourcePos:
+    if dline == 0 and doffset == 0:
+        return pos
+    return SourcePos(pos.line + dline, pos.col, pos.offset + doffset)
+
+
+def shift_span(span: SourceSpan, dline: int, doffset: int) -> SourceSpan:
+    if dline == 0 and doffset == 0:
+        return span
+    return SourceSpan(shift_pos(span.start, dline, doffset),
+                      shift_pos(span.end, dline, doffset), span.filename)
+
+
+def shift_subtree(node: ast.Node, dline: int, doffset: int) -> None:
+    """Shift the spans of ``node`` and all its descendants in place."""
+    if dline == 0 and doffset == 0:
+        return
+    for sub in node.walk():
+        sub.span = shift_span(sub.span, dline, doffset)

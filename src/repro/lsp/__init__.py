@@ -1,0 +1,16 @@
+"""Language Server Protocol front end for the analysis engine.
+
+``repro lsp`` speaks LSP 3.x over stdio: JSON-RPC 2.0 with
+``Content-Length`` framing (:mod:`repro.lsp.rpc`), incremental
+UTF-16 document sync (:mod:`repro.lsp.documents`), and a dispatcher
+(:mod:`repro.lsp.server`) that runs one
+:class:`~repro.analysis.incremental.IncrementalAnalyzer` per open
+document — diagnostics are re-published at keystroke latency, with the
+same codes and messages as ``repro lint``.
+"""
+
+from .documents import Document
+from .rpc import JsonRpcStream
+from .server import LspServer, main
+
+__all__ = ["Document", "JsonRpcStream", "LspServer", "main"]

@@ -1,0 +1,85 @@
+"""Open-document store with LSP position arithmetic.
+
+LSP positions are ``{line, character}`` where ``line`` is 0-based and
+``character`` counts **UTF-16 code units** (the protocol default; the
+server also advertises ``positionEncoding: "utf-16"``).  A
+:class:`Document` applies full or incremental
+``textDocument/didChange`` edits and converts between LSP positions and
+Python string offsets.
+"""
+
+from __future__ import annotations
+
+
+class Document:
+    """One open text document, synced via didChange events."""
+
+    def __init__(self, uri: str, text: str, version: int = 0) -> None:
+        self.uri = uri
+        self.text = text
+        self.version = version
+
+    # ------------------------------------------------ position arithmetic
+    def _line_offsets(self) -> list[int]:
+        """Start offset of each 0-based line (always non-empty)."""
+        offsets = [0]
+        for i, ch in enumerate(self.text):
+            if ch == "\n":
+                offsets.append(i + 1)
+        return offsets
+
+    def offset_at(self, position: dict) -> int:
+        """Python string offset of an LSP ``{line, character}``."""
+        offsets = self._line_offsets()
+        line = max(0, min(position.get("line", 0), len(offsets) - 1))
+        start = offsets[line]
+        end = (offsets[line + 1] if line + 1 < len(offsets)
+               else len(self.text))
+        units = position.get("character", 0)
+        offset = start
+        while offset < end and units > 0:
+            ch = self.text[offset]
+            if ch == "\n":
+                break
+            units -= 2 if ord(ch) > 0xFFFF else 1
+            offset += 1
+        return offset
+
+    def position_at(self, offset: int) -> dict:
+        """LSP position of a Python string offset."""
+        offset = max(0, min(offset, len(self.text)))
+        offsets = self._line_offsets()
+        line = 0
+        for i, start in enumerate(offsets):
+            if start <= offset:
+                line = i
+            else:
+                break
+        character = sum(2 if ord(ch) > 0xFFFF else 1
+                        for ch in self.text[offsets[line]:offset])
+        return {"line": line, "character": character}
+
+    # ------------------------------------------------------------- edits
+    def apply(self, changes: list[dict], version: int) -> None:
+        """Apply ``contentChanges`` in order (full or ranged)."""
+        for change in changes:
+            rng = change.get("range")
+            if rng is None:
+                self.text = change.get("text", "")
+            else:
+                start = self.offset_at(rng["start"])
+                end = self.offset_at(rng["end"])
+                if end < start:
+                    start, end = end, start
+                self.text = (self.text[:start] + change.get("text", "")
+                             + self.text[end:])
+        self.version = version
+
+
+def uri_to_path(uri: str) -> str:
+    """Filesystem path of a ``file://`` URI (other schemes pass through
+    verbatim — the analyzer only uses it as a display name)."""
+    if uri.startswith("file://"):
+        from urllib.parse import unquote, urlparse
+        return unquote(urlparse(uri).path) or uri
+    return uri

@@ -194,3 +194,16 @@ def _outcomes_stmt_raw(s: ast.Stmt, bound: BoundProgram,
         return _setexp_outcomes(s.value, bound, sink)
     # declarations, emits, C calls, annotations, nothing: zero-time
     return frozenset({CZ})
+
+
+#: public aliases for the incremental analyzer (docs/ANALYSIS.md), which
+#: replicates the top-level `_outcomes_block` walk over memoized
+#: per-region statement outcomes
+COMPLETIONS = _COMPLETIONS
+seq_outcomes = _seq
+
+
+def statement_outcomes(stmt: ast.Stmt, bound: BoundProgram,
+                       sink: BoundedSink) -> Outcomes:
+    """Outcome set of one top-level statement (value-boundary aware)."""
+    return _outcomes_stmt(stmt, bound, sink)

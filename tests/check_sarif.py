@@ -1,0 +1,157 @@
+"""Structural SARIF 2.1.0 validator for `repro lint --sarif` output.
+
+Checks the invariants the SARIF 2.1.0 schema would enforce on the
+subset of the format we emit — required properties, enum values,
+1-based region coordinates, rule-index consistency — without needing
+``jsonschema`` installed.  Dual use:
+
+* imported by the test suite (``test_sarif_structure`` below runs as
+  part of tier-1);
+* run as a script in CI as the fallback when the real schema validator
+  is unavailable: ``python tests/check_sarif.py report.sarif [...]``.
+"""
+
+import json
+import sys
+
+_LEVELS = {"error", "warning", "note", "none"}
+
+
+def _err(errors, path, message):
+    errors.append(f"{path}: {message}")
+
+
+def _check_region(errors, path, region):
+    if not isinstance(region, dict):
+        _err(errors, path, "region must be an object")
+        return
+    for key in ("startLine", "startColumn", "endLine", "endColumn"):
+        if key in region:
+            value = region[key]
+            if not isinstance(value, int) or value < 1:
+                _err(errors, f"{path}.{key}",
+                     f"must be a positive integer, got {value!r}")
+    if "startLine" not in region:
+        _err(errors, path, "region requires startLine")
+    if ("endLine" in region and "startLine" in region
+            and region["endLine"] < region["startLine"]):
+        _err(errors, path, "endLine precedes startLine")
+
+
+def _check_location(errors, path, loc):
+    if not isinstance(loc, dict):
+        _err(errors, path, "location must be an object")
+        return
+    physical = loc.get("physicalLocation")
+    if not isinstance(physical, dict):
+        _err(errors, path, "physicalLocation required")
+        return
+    artifact = physical.get("artifactLocation")
+    if not isinstance(artifact, dict) or not isinstance(
+            artifact.get("uri"), str):
+        _err(errors, f"{path}.physicalLocation",
+             "artifactLocation.uri (string) required")
+    if "region" in physical:
+        _check_region(errors, f"{path}.physicalLocation.region",
+                      physical["region"])
+
+
+def _check_result(errors, path, result, rules):
+    if not isinstance(result, dict):
+        _err(errors, path, "result must be an object")
+        return
+    message = result.get("message")
+    if not isinstance(message, dict) or not isinstance(
+            message.get("text"), str):
+        _err(errors, path, "message.text (string) required")
+    level = result.get("level")
+    if level is not None and level not in _LEVELS:
+        _err(errors, f"{path}.level", f"invalid level {level!r}")
+    rule_id = result.get("ruleId")
+    if rule_id is not None and not isinstance(rule_id, str):
+        _err(errors, f"{path}.ruleId", "must be a string")
+    index = result.get("ruleIndex")
+    if index is not None:
+        if not isinstance(index, int) or not 0 <= index < len(rules):
+            _err(errors, f"{path}.ruleIndex",
+                 f"{index!r} out of range for {len(rules)} rules")
+        elif rule_id is not None and rules[index].get("id") != rule_id:
+            _err(errors, f"{path}.ruleIndex",
+                 f"points at rule {rules[index].get('id')!r}, "
+                 f"result says {rule_id!r}")
+    locations = result.get("locations", [])
+    if not isinstance(locations, list):
+        _err(errors, f"{path}.locations", "must be an array")
+        locations = []
+    for i, loc in enumerate(locations):
+        _check_location(errors, f"{path}.locations[{i}]", loc)
+    for i, loc in enumerate(result.get("relatedLocations", [])):
+        _check_location(errors, f"{path}.relatedLocations[{i}]", loc)
+
+
+def check_sarif(doc) -> list:
+    """Return a list of human-readable violations (empty = valid)."""
+    errors: list = []
+    if not isinstance(doc, dict):
+        return ["document must be a JSON object"]
+    if doc.get("version") != "2.1.0":
+        _err(errors, "version", f"must be '2.1.0', got "
+                                f"{doc.get('version')!r}")
+    schema = doc.get("$schema", "")
+    if "sarif" not in schema:
+        _err(errors, "$schema", f"does not look like SARIF: {schema!r}")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return errors + ["runs: non-empty array required"]
+    for ri, run in enumerate(runs):
+        path = f"runs[{ri}]"
+        if not isinstance(run, dict):
+            _err(errors, path, "run must be an object")
+            continue
+        driver = run.get("tool", {}).get("driver") \
+            if isinstance(run.get("tool"), dict) else None
+        if not isinstance(driver, dict) or not isinstance(
+                driver.get("name"), str):
+            _err(errors, path, "tool.driver.name (string) required")
+            driver = {}
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            _err(errors, f"{path}.tool.driver.rules", "must be an array")
+            rules = []
+        for i, rule in enumerate(rules):
+            rpath = f"{path}.tool.driver.rules[{i}]"
+            if not isinstance(rule, dict) or not isinstance(
+                    rule.get("id"), str):
+                _err(errors, rpath, "rule id (string) required")
+                continue
+            level = rule.get("defaultConfiguration", {}).get("level")
+            if level is not None and level not in _LEVELS:
+                _err(errors, rpath, f"invalid default level {level!r}")
+        results = run.get("results", [])
+        if not isinstance(results, list):
+            _err(errors, f"{path}.results", "must be an array")
+            results = []
+        for i, result in enumerate(results):
+            _check_result(errors, f"{path}.results[{i}]", result, rules)
+    return errors
+
+
+def main(argv) -> int:
+    status = 0
+    for path in argv:
+        with open(path, "rb") as handle:
+            doc = json.load(handle)
+        errors = check_sarif(doc)
+        for message in errors:
+            print(f"{path}: {message}")
+        if errors:
+            status = 1
+        else:
+            print(f"{path}: OK "
+                  f"({sum(len(r.get('results', [])) for r in doc['runs'])}"
+                  f" results)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,133 @@
+"""End-to-end LSP smoke test: spawn ``repro lsp`` as a real subprocess
+and drive it over stdio pipes, exactly as an editor would.
+
+Asserts the full loop: initialize handshake → didOpen publishes the
+same CEU-* diagnostic codes as ``repro lint`` → an incremental
+didChange re-publishes at keystroke latency → hover answers with the
+static resource bounds → clean shutdown/exit.
+
+Run from the repository root (CI ``lsp-smoke`` step)::
+
+    python tests/lsp_smoke.py
+"""
+
+import json
+import pathlib
+import subprocess
+import sys
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+
+#: the paper's §2.6 nondeterministic race — `repro lint` flags CEU-E201
+RACY = """\
+input void A;
+int x = 0;
+par/and do
+    x = 1;
+    await A;
+    x = 3;
+with
+    await A;
+    x = 2;
+end
+"""
+
+
+def frame(obj) -> bytes:
+    body = json.dumps(obj).encode()
+    return b"Content-Length: %d\r\n\r\n%s" % (len(body), body)
+
+
+def read_message(stdout):
+    length = None
+    while True:
+        line = stdout.readline()
+        if not line:
+            raise AssertionError("server closed the pipe early")
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":")[1])
+        elif line in (b"\r\n", b"\n"):
+            break
+    return json.loads(stdout.read(length))
+
+
+def wait_for(stdout, predicate, what):
+    for _ in range(50):
+        message = read_message(stdout)
+        if predicate(message):
+            return message
+    raise AssertionError(f"never saw {what}")
+
+
+def main() -> int:
+    uri = "file:///smoke/racy.ceu"
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro", "lsp"],
+        stdin=subprocess.PIPE, stdout=subprocess.PIPE, cwd=ROOT)
+
+    def send(obj):
+        proc.stdin.write(frame(obj))
+        proc.stdin.flush()
+
+    try:
+        send({"jsonrpc": "2.0", "id": 1, "method": "initialize",
+              "params": {"capabilities": {}}})
+        init = wait_for(proc.stdout, lambda m: m.get("id") == 1,
+                        "initialize response")
+        caps = init["result"]["capabilities"]
+        assert caps["textDocumentSync"]["change"] == 2, caps
+        print("initialize: ok", init["result"]["serverInfo"])
+
+        send({"jsonrpc": "2.0", "method": "initialized", "params": {}})
+        send({"jsonrpc": "2.0", "method": "textDocument/didOpen",
+              "params": {"textDocument": {
+                  "uri": uri, "languageId": "ceu",
+                  "version": 1, "text": RACY}}})
+        pub = wait_for(
+            proc.stdout,
+            lambda m: m.get("method") == "textDocument/publishDiagnostics",
+            "publishDiagnostics")
+        codes = sorted({d["code"] for d in pub["params"]["diagnostics"]})
+        assert "CEU-E201" in codes, codes
+        print("didOpen: ok, published", codes)
+
+        # keystroke: x = 3 → x = 4 (line 5, cols 8..9), incremental sync
+        send({"jsonrpc": "2.0", "method": "textDocument/didChange",
+              "params": {
+                  "textDocument": {"uri": uri, "version": 2},
+                  "contentChanges": [{
+                      "range": {"start": {"line": 5, "character": 8},
+                                "end": {"line": 5, "character": 9}},
+                      "text": "4"}]}})
+        pub2 = wait_for(
+            proc.stdout,
+            lambda m: m.get("method") == "textDocument/publishDiagnostics"
+            and m["params"].get("version") == 2,
+            "re-published diagnostics")
+        codes2 = sorted({d["code"] for d in pub2["params"]["diagnostics"]})
+        assert "CEU-E201" in codes2, codes2
+        print("didChange: ok, re-published", codes2)
+
+        send({"jsonrpc": "2.0", "id": 2, "method": "textDocument/hover",
+              "params": {"textDocument": {"uri": uri},
+                         "position": {"line": 3, "character": 4}}})
+        hover = wait_for(proc.stdout, lambda m: m.get("id") == 2, "hover")
+        value = hover["result"]["contents"]["value"]
+        assert "trails<=" in value, value
+        print("hover: ok,", value.splitlines()[1])
+
+        send({"jsonrpc": "2.0", "id": 3, "method": "shutdown",
+              "params": None})
+        wait_for(proc.stdout, lambda m: m.get("id") == 3, "shutdown")
+        send({"jsonrpc": "2.0", "method": "exit", "params": None})
+        code = proc.wait(timeout=30)
+        assert code == 0, f"exit code {code}"
+        print("shutdown/exit: ok")
+        return 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

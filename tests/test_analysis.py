@@ -333,6 +333,22 @@ class TestSarif:
         assert first == second
         assert first.endswith("\n")
 
+    def test_sarif_passes_structural_validator(self):
+        """The same structural SARIF 2.1.0 checks CI applies
+        (tests/check_sarif.py) hold for every corpus file."""
+        from check_sarif import check_sarif
+        reports = self.reports() + [
+            run_analysis(path.read_text(), filename=str(path))
+            for path in sorted(CORPUS.glob("*.ceu"))]
+        assert check_sarif(to_sarif(reports)) == []
+
+    def test_structural_validator_rejects_bad_documents(self):
+        from check_sarif import check_sarif
+        assert check_sarif({"version": "2.0.0"})
+        doc = to_sarif(self.reports())
+        doc["runs"][0]["results"][0]["ruleIndex"] = 999
+        assert any("ruleIndex" in e for e in check_sarif(doc))
+
 
 # ---------------------------------------------------------------------------
 # golden snapshots
