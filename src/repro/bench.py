@@ -65,6 +65,15 @@ FARM_PATH = BENCH_DIR / "BENCH_farm.json"
 #: the incremental-analysis record (``--analysis``; recorded, not gated)
 ANALYSIS_PATH = BENCH_DIR / "BENCH_analysis.json"
 
+#: the telemetry-plane serving-path record (``--serve``; the idle-server
+#: drive ratio IS gated — see SERVE_BUDGET)
+SERVE_PATH = BENCH_DIR / "BENCH_serve.json"
+
+#: hard ceiling on attached-server drive overhead: an idle admin server
+#: must cost the reaction path <= 5% (the near-zero-cost instrumentation
+#: budget; scraped-under-load is recorded, not gated)
+SERVE_BUDGET = 1.05
+
 #: overhead ratios gated against the baseline.  The ``causal`` mode
 #: (CausalGraph subscribed) is *recorded* in snapshots but not gated:
 #: older baselines predate it, and its cost tracks the full-export modes
@@ -282,6 +291,132 @@ def bench_farm(n_instances: Optional[int] = None,
     }
 
 
+SERVE_INSTANCES = 2_000
+SERVE_SIM_US = 1_000_000
+
+
+def _serve_drive(source: str, n: int, sim_us: int,
+                 mode: str) -> tuple[float, int]:
+    """Time one detached-farm drive with the admin server absent
+    (``noserver``), attached but idle (``idle``), or attached and
+    scraped from a background thread (``scraped``)."""
+    import urllib.request
+
+    from .obs import AdminServer
+    from .runtime.farm import Farm
+
+    farm = Farm(source, n=n, program="blink", observe=False)
+    server = None
+    stop = None
+    scraper = None
+    if mode != "noserver":
+        server = AdminServer(farm.fleet_snapshot,
+                             health_fn=farm.watchdog).start()
+    if mode == "scraped":
+        import threading
+
+        stop = threading.Event()
+        url = server.address + "/metrics"
+
+        def hammer() -> None:
+            while not stop.is_set():
+                try:
+                    with urllib.request.urlopen(url, timeout=2) as resp:
+                        resp.read()
+                except OSError:
+                    pass
+
+        scraper = threading.Thread(target=hammer, daemon=True)
+        scraper.start()
+    try:
+        start = time.perf_counter()
+        farm.run_until(sim_us)
+        elapsed = time.perf_counter() - start
+    finally:
+        if stop is not None:
+            stop.set()
+            scraper.join(timeout=2)
+        if server is not None:
+            server.close()
+    reactions = sum(inst.program.sched.reaction_count
+                    for inst in farm.instances)
+    return elapsed, reactions
+
+
+def bench_serve(n_instances: Optional[int] = None,
+                sim_us: Optional[int] = None, repeats: int = 3) -> dict:
+    """The serving-path overhead section (``bench --serve``).
+
+    Interleaved best-of-``repeats`` drives of a *detached* farm (no
+    per-instance metrics — the worst case for relative overhead, since
+    the baseline is as fast as the farm gets) in the three modes, plus
+    one measured scrape of ``/metrics`` and ``/snapshot``.  The
+    ``idle_vs_noserver`` ratio is gated at :data:`SERVE_BUDGET`."""
+    import json as _json
+    import urllib.request
+
+    from .apps import load
+    from .obs import AdminServer
+    from .runtime.farm import Farm
+
+    if n_instances is None:
+        n_instances = SERVE_INSTANCES  # late-bound so tests can shrink it
+    if sim_us is None:
+        sim_us = SERVE_SIM_US
+    source = load("blink")
+    best = {"noserver": float("inf"), "idle": float("inf"),
+            "scraped": float("inf")}
+    reactions = 0
+    for _ in range(repeats):
+        for mode in best:
+            elapsed, reactions = _serve_drive(source, n_instances,
+                                              sim_us, mode)
+            best[mode] = min(best[mode], elapsed)
+
+    # one served farm, scraped once per endpoint, for latency/size
+    farm = Farm(source, n=n_instances, program="blink", observe=False)
+    farm.run_until(sim_us)
+    server = AdminServer(farm.fleet_snapshot,
+                         health_fn=farm.watchdog).start()
+    endpoints = {}
+    try:
+        for path in ("/metrics", "/healthz", "/snapshot"):
+            start = time.perf_counter()
+            with urllib.request.urlopen(server.address + path,
+                                        timeout=5) as resp:
+                body = resp.read()
+            endpoints[path] = {
+                "latency_ms": (time.perf_counter() - start) * 1e3,
+                "bytes": len(body),
+            }
+        snap = _json.loads(
+            urllib.request.urlopen(server.address + "/snapshot",
+                                   timeout=5).read())
+    finally:
+        server.close()
+    idle_ratio = best["idle"] / best["noserver"] \
+        if best["noserver"] else 0.0
+    scraped_ratio = best["scraped"] / best["noserver"] \
+        if best["noserver"] else 0.0
+    return {
+        "workload": {"program": "blink", "instances": n_instances,
+                     "sim_us": sim_us, "repeats": repeats,
+                     "detached": True},
+        "drive_s": best,
+        "reactions": reactions,
+        "events_per_s": {mode: reactions / secs if secs else 0.0
+                         for mode, secs in best.items()},
+        "overhead": {
+            "idle_vs_noserver": idle_ratio,
+            "scraped_vs_noserver": scraped_ratio,
+        },
+        "budget": {"idle_vs_noserver_max": SERVE_BUDGET,
+                   "within_budget": idle_ratio <= SERVE_BUDGET},
+        "endpoints": endpoints,
+        "snapshot_counters": snap.get("merged", {}).get("counters", {}),
+    }
+
+
 def _analysis_corpus() -> list[Path]:
     root = Path(__file__).resolve().parents[2]
     return (sorted((root / "examples" / "ceu").glob("*.ceu"))
@@ -383,7 +518,7 @@ def bench_analysis(repeats: int = 3) -> dict:
 
 
 def snapshot(repeats: int = 3, farm: bool = False,
-             analysis: bool = False) -> dict:
+             analysis: bool = False, serve: bool = False) -> dict:
     """The full ``repro bench`` measurement (pure data, JSON-ready)."""
     import tempfile
 
@@ -400,6 +535,8 @@ def snapshot(repeats: int = 3, farm: bool = False,
         snap["farm"] = bench_farm()
     if analysis:
         snap["analysis"] = bench_analysis(repeats)
+    if serve:
+        snap["serve"] = bench_serve(repeats=repeats)
     return snap
 
 
@@ -465,8 +602,9 @@ def main(args) -> int:
 
     with_farm = getattr(args, "farm", False)
     with_analysis = getattr(args, "analysis", False)
+    with_serve = getattr(args, "serve", False)
     snap = snapshot(repeats=args.repeats, farm=with_farm,
-                    analysis=with_analysis)
+                    analysis=with_analysis, serve=with_serve)
     out_dir = Path(args.out) if args.out else BENCH_DIR
     out_dir.mkdir(parents=True, exist_ok=True)
     out = write_snapshot(snap, out_dir)
@@ -506,6 +644,25 @@ def main(args) -> int:
               f"literal-edit geomean "
               f"{summary['literal_speedup_geomean']:.1f}x, "
               f"identical={summary['all_identical']}")
+    if with_serve:
+        serve = snap["serve"]
+        serve_path = out_dir / SERVE_PATH.name if args.out else SERVE_PATH
+        serve_path.write_text(
+            json.dumps(serve, indent=2, sort_keys=True) + "\n")
+        over = serve["overhead"]
+        print(f"wrote {serve_path}")
+        print(f"serve: {serve['workload']['instances']} instances, "
+              f"{serve['events_per_s']['noserver']:.0f} "
+              f"reactions/s detached; overhead idle "
+              f"{over['idle_vs_noserver']:.3f}x, scraped "
+              f"{over['scraped_vs_noserver']:.3f}x "
+              f"(budget {serve['budget']['idle_vs_noserver_max']:.2f}x)")
+        if not serve["budget"]["within_budget"]:
+            print(f"REGRESSION serve: idle overhead "
+                  f"{over['idle_vs_noserver']:.3f}x exceeds "
+                  f"{serve['budget']['idle_vs_noserver_max']:.2f}x budget",
+                  file=sys.stderr)
+            return 1
     baseline_path = Path(args.baseline) if args.baseline \
         else BASELINE_PATH
     if args.update_baseline:
@@ -531,5 +688,5 @@ def main(args) -> int:
 
 
 __all__ = ["SCHEMA", "bench_vm", "bench_stream", "bench_farm",
-           "bench_analysis", "snapshot", "write_snapshot",
+           "bench_analysis", "bench_serve", "snapshot", "write_snapshot",
            "check_regression", "make_fanout"]

@@ -50,7 +50,19 @@ reproduction's analysis artifacts:
             telemetry: per-instance metrics rolled up cross-instance
             (``--stats``), Prometheus text exposition (``--prom``),
             shared JSONL telemetry stream (``--jsonl``), and a
-            reaction-latency watchdog (docs/OBSERVABILITY.md)
+            reaction-latency watchdog (docs/OBSERVABILITY.md);
+            ``--serve HOST:PORT`` keeps the fleet on a wall-clock driver
+            and serves the live telemetry plane (``/metrics``,
+            ``/healthz``, ``/readyz``, ``/snapshot``, ``/events``,
+            ``/flamegraph``) with graceful SIGTERM drain
+``top``     live ANSI dashboard over a fleet — reactions/s, latency
+            percentiles, watchdog verdicts, per-shard table — against an
+            in-process farm (pass a ``.ceu`` file) or a remote
+            ``--serve`` URL
+``federate`` scrape N shard ``/snapshot`` endpoints and roll them into
+            one exposition with per-shard ``shard_up``/staleness
+            metrics; ``--once`` prints to stdout, ``--serve`` re-serves
+            the merged plane
 =========   =============================================================
 """
 
@@ -494,6 +506,85 @@ def cmd_bench(args) -> int:
     return bench_main(args)
 
 
+def _parse_addr(spec: str) -> tuple[str, int]:
+    """``:9464`` / ``127.0.0.1:9464`` / ``9464`` → (host, port)."""
+    host, _, port = spec.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(f"not a HOST:PORT address: {spec!r}")
+    return host or "127.0.0.1", int(port)
+
+
+def _serve_farm(args, source: str, name: str) -> int:
+    """``repro farm --serve``: wall-clock drive + HTTP telemetry plane,
+    draining gracefully on SIGTERM/SIGINT (docs/OBSERVABILITY.md)."""
+    import signal
+
+    from .obs import (AdminServer, FlightRecorder, LineTee, Profiler,
+                      StreamingJsonlExporter, write_prom)
+    from .runtime.farm import Farm
+    from .runtime.wallclock import WallClockDriver
+
+    host, port = _parse_addr(args.serve)
+    stream = recorder = None
+    if args.jsonl:
+        stream = StreamingJsonlExporter(args.jsonl, flush_every=1024)
+    if args.flight_recorder:
+        recorder = FlightRecorder(args.flight_recorder)
+    tee = LineTee()
+    profiler = Profiler(source=source)
+    farm = Farm(source, n=args.instances, program=name,
+                observe=not args.detached, stream=stream,
+                recorder=recorder, sinks=[tee], subscribers=[profiler])
+    driver = WallClockDriver(farm, speed=args.speed)
+    server = AdminServer(driver.snapshot, health_fn=farm.watchdog,
+                         ready_fn=lambda: driver.running, events=tee,
+                         flamegraph_fn=profiler.collapsed,
+                         lock=driver.lock, host=host, port=port).start()
+    print(f"{args.file}: {args.instances} instance(s) of {name} — "
+          f"serving telemetry on {server.address} "
+          f"(speed {args.speed:g}x)", flush=True)
+
+    def _on_signal(signum, frame):
+        driver.stop()
+
+    old = {s: signal.signal(s, _on_signal)
+           for s in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        until = parse_time(args.until) if args.until else None
+        driver.run(until_us=until)
+    finally:
+        for s, handler in old.items():
+            signal.signal(s, handler)
+    # graceful drain: stop routing (readyz 503), align the fleet, emit
+    # one final snapshot, flush the exporter, then stop accepting
+    server.draining.set()
+    driver.drain(until_us=until)
+    with driver.lock:
+        snap = farm.fleet_snapshot()
+        snap["watchdog"] = farm.watchdog()
+    if args.snapshot:
+        Path(args.snapshot).write_text(
+            json.dumps(snap, indent=2, sort_keys=True, default=repr)
+            + "\n")
+        print(f"wrote {args.snapshot}", file=sys.stderr)
+    if args.prom:
+        n = write_prom(snap, args.prom)
+        print(f"wrote {args.prom}: {n} exposition lines",
+              file=sys.stderr)
+    farm.close()
+    server.close()
+    merged = snap["merged"]
+    print(f"drained at {snap['now_us']}us: {snap['instances']} live / "
+          f"{snap['spawned']} spawned, "
+          f"{merged['counters'].get('reactions_total', 0)} reactions, "
+          f"{len(snap['watchdog']['flagged'])} watchdog flag(s)",
+          flush=True)
+    if stream is not None:
+        print(f"wrote {args.jsonl}: {stream.seq} events streamed "
+              f"(resident high {stream.resident_high})", file=sys.stderr)
+    return 0
+
+
 def cmd_farm(args) -> int:
     """N program instances over the DES kernel with fleet telemetry."""
     from .obs import FlightRecorder, StreamingJsonlExporter, write_prom
@@ -501,6 +592,8 @@ def cmd_farm(args) -> int:
 
     source = _load(args.file)
     name = Path(args.file).stem or "prog"
+    if args.serve is not None:
+        return _serve_farm(args, source, name)
     stream = recorder = None
     if args.jsonl:
         stream = StreamingJsonlExporter(args.jsonl, flush_every=1024)
@@ -549,6 +642,85 @@ def cmd_farm(args) -> int:
         print(f"wrote {args.jsonl}: {stream.seq} events streamed "
               f"(resident high {stream.resident_high}, "
               f"{stream.rotations} rotation(s))", file=sys.stderr)
+    return 0
+
+
+def cmd_top(args) -> int:
+    """Live fleet dashboard: remote ``/snapshot`` URL or an in-process
+    wall-clock farm (docs/OBSERVABILITY.md, "repro top")."""
+    import threading
+
+    from .obs.top import Top, snapshot_url_source
+
+    if args.target.startswith(("http://", "https://")):
+        top = Top(snapshot_url_source(args.target),
+                  interval_s=args.interval, title=args.target,
+                  color=None if not args.no_color else False)
+        painted = top.run(frames=args.frames)
+        return 0 if painted else 1
+    source = _load(args.target)
+    name = Path(args.target).stem or "prog"
+    from .runtime.farm import Farm
+    from .runtime.wallclock import WallClockDriver
+
+    farm = Farm(source, n=args.instances, program=name)
+    driver = WallClockDriver(farm, speed=args.speed)
+    thread = threading.Thread(target=driver.run, daemon=True)
+    thread.start()
+    top = Top(driver.snapshot, interval_s=args.interval,
+              title=f"{name} ×{args.instances} (in-process)",
+              color=None if not args.no_color else False)
+    try:
+        top.run(frames=args.frames)
+    finally:
+        driver.stop()
+        thread.join(timeout=2)
+    return 0
+
+
+def cmd_federate(args) -> int:
+    """Merge N shard ``/snapshot`` endpoints into one exposition —
+    one-shot (``--once``) or served live (``--serve``)."""
+    from .obs import AdminServer, Federator
+
+    fed = Federator(args.shards, timeout_s=args.timeout,
+                    min_interval_s=args.interval)
+    if args.serve is None or args.once:
+        n = fed.scrape(force=True)
+        text = fed.render()
+        if args.output:
+            Path(args.output).write_text(text)
+            print(f"wrote {args.output}: {text.count(chr(10))} "
+                  f"exposition lines from {n}/{len(args.shards)} "
+                  f"shard(s)", file=sys.stderr)
+        else:
+            sys.stdout.write(text)
+        return 0 if n == len(args.shards) else 1
+
+    import signal
+    import threading
+
+    host, port = _parse_addr(args.serve)
+
+    def metrics() -> str:
+        fed.scrape()
+        return fed.render()
+
+    server = AdminServer(fed.collect, metrics_fn=metrics,
+                         host=host, port=port).start()
+    print(f"federating {len(args.shards)} shard(s) on {server.address}",
+          flush=True)
+    stop = threading.Event()
+    old = {s: signal.signal(s, lambda *a: stop.set())
+           for s in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        stop.wait()
+    finally:
+        for s, handler in old.items():
+            signal.signal(s, handler)
+    server.draining.set()
+    server.close()
+    print("federation stopped", flush=True)
     return 0
 
 
@@ -777,7 +949,63 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--detached", action="store_true",
                    help="skip per-instance metrics (overhead baseline; "
                         "farm families and DES counters stay on)")
+    p.add_argument("--serve", metavar="HOST:PORT", default=None,
+                   help="drive the farm on the wall clock and serve the "
+                        "telemetry plane over HTTP (/metrics /healthz "
+                        "/readyz /snapshot /events /flamegraph; port 0 "
+                        "binds an ephemeral port, printed on stdout); "
+                        "--until bounds the run, otherwise SIGTERM/"
+                        "SIGINT drains gracefully")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="wall-clock compression for --serve: virtual "
+                        "time runs this many times faster than real "
+                        "time (default 1.0)")
     p.set_defaults(fn=cmd_farm)
+
+    p = sub.add_parser(
+        "top",
+        help="live ANSI fleet dashboard (reactions/s, latency "
+             "percentiles, watchdog, per-shard rollup)")
+    p.add_argument("target",
+                   help="a /snapshot URL of a serving farm or "
+                        "federator, or a .ceu file to boot in-process")
+    p.add_argument("-n", "--instances", type=int, default=1000,
+                   metavar="N",
+                   help="instance count for in-process targets "
+                        "(default 1000)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="seconds between frames (default 1.0)")
+    p.add_argument("--frames", type=int, default=None, metavar="K",
+                   help="stop after K frames (default: until q/Ctrl-C)")
+    p.add_argument("--speed", type=float, default=1.0,
+                   help="wall-clock compression for in-process targets")
+    p.add_argument("--no-color", action="store_true",
+                   help="plain frames without ANSI escapes")
+    p.set_defaults(fn=cmd_top)
+
+    p = sub.add_parser(
+        "federate",
+        help="merge N shard /snapshot endpoints into one Prometheus "
+             "exposition (cross-shard percentiles, shard labels, "
+             "scrape/staleness self-metrics)")
+    p.add_argument("shards", nargs="+", metavar="URL",
+                   help="shard base URLs (http://host:port of a "
+                        "`farm --serve`; /snapshot is appended)")
+    p.add_argument("--serve", metavar="HOST:PORT", default=None,
+                   help="serve the federated plane over HTTP instead "
+                        "of printing once")
+    p.add_argument("--once", action="store_true",
+                   help="with --serve absent (or even present): one "
+                        "sweep, print the exposition, exit non-zero "
+                        "if any shard failed")
+    p.add_argument("-o", "--output", metavar="FILE",
+                   help="write the exposition here instead of stdout")
+    p.add_argument("--timeout", type=float, default=2.0, metavar="S",
+                   help="per-shard scrape timeout (default 2s)")
+    p.add_argument("--interval", type=float, default=1.0, metavar="S",
+                   help="min seconds between upstream sweeps when "
+                        "serving (default 1.0)")
+    p.set_defaults(fn=cmd_federate)
 
     p = sub.add_parser("bench",
                        help="benchmark snapshot + perf regression gate")
@@ -804,6 +1032,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also measure incremental-vs-cold lint latency "
                         "(recorded as benchmarks/BENCH_analysis.json, "
                         "never gated)")
+    p.add_argument("--serve", action="store_true",
+                   help="also measure the telemetry-plane serving-path "
+                        "overhead on a detached farm (recorded as "
+                        "benchmarks/BENCH_serve.json; the idle-server "
+                        "drive ratio is gated at <= 5%%)")
     p.set_defaults(fn=cmd_bench)
     return parser
 

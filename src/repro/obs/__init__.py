@@ -10,15 +10,19 @@ from .coverage import (CoverageMap, DfaEdgeCoverage, collect_coverage,
                        coverage_signature)
 from .debug import TimeTravelDebugger
 from .export import ChromeTraceExporter, JsonlExporter
+from .federate import Federator
 from .fleet import (CounterFamily, FleetRegistry, GaugeFamily,
-                    HistogramFamily, merge_histogram,
-                    merge_histogram_snapshots, merge_snapshots)
+                    HistogramFamily, merge_family_snapshots,
+                    merge_histogram, merge_histogram_snapshots,
+                    merge_snapshots)
 from .hooks import HOOK_EVENTS, EventLog, HookBus, HookSubscriber
 from .metrics import (Counter, Gauge, Histogram, MetricsCollector,
                       MetricsRegistry, render_stats)
 from .profile import Profiler
-from .prom import render_prom, write_prom
-from .stream import FlightRecorder, StreamingJsonlExporter
+from .prom import PROM_CONTENT_TYPE, render_prom, write_prom
+from .serve import AdminServer
+from .stream import FlightRecorder, LineTee, StreamingJsonlExporter
+from .top import Top, snapshot_url_source
 
 __all__ = [
     "HOOK_EVENTS", "HookBus", "HookSubscriber", "EventLog",
@@ -26,9 +30,11 @@ __all__ = [
     "MetricsCollector", "render_stats",
     "CounterFamily", "GaugeFamily", "HistogramFamily", "FleetRegistry",
     "merge_histogram", "merge_histogram_snapshots", "merge_snapshots",
-    "render_prom", "write_prom",
+    "merge_family_snapshots",
+    "render_prom", "write_prom", "PROM_CONTENT_TYPE",
+    "AdminServer", "Federator", "Top", "snapshot_url_source",
     "ChromeTraceExporter", "JsonlExporter",
-    "StreamingJsonlExporter", "FlightRecorder", "Profiler",
+    "StreamingJsonlExporter", "FlightRecorder", "LineTee", "Profiler",
     "CausalGraph", "CausalNode", "TimeTravelDebugger",
     "diff_slices",
     "CoverageMap", "DfaEdgeCoverage", "collect_coverage",

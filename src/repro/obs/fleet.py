@@ -262,6 +262,64 @@ def merge_snapshots(snaps: Sequence[dict]) -> dict:
     }
 
 
+def merge_family_snapshots(snaps: Sequence[dict]) -> dict:
+    """Roll N :meth:`FleetRegistry.snapshot` dicts up into one.
+
+    The cross-*shard* analogue of :func:`merge_snapshots` (which rolls
+    per-instance registries): series are keyed on (family, label
+    values), counters sum, gauges sum values and fold min/max, and
+    histograms bucket-merge.  Disjoint families pass through; the same
+    family appearing with different label schemas or kinds raises —
+    shards disagreeing about a schema is a deploy skew worth surfacing,
+    not averaging away.
+    """
+    merged: dict[str, dict] = {}
+    for snap in snaps:
+        for name, fam in snap.items():
+            into = merged.get(name)
+            if into is None:
+                merged[name] = {"kind": fam["kind"],
+                                "labels": list(fam["labels"]),
+                                "series": [[list(k), _copy_value(fam, v)]
+                                           for k, v in fam["series"]]}
+                continue
+            if (into["kind"] != fam["kind"]
+                    or into["labels"] != list(fam["labels"])):
+                raise ValueError(
+                    f"family {name!r} schema skew across shards: "
+                    f"{into['kind']}{into['labels']} vs "
+                    f"{fam['kind']}{list(fam['labels'])}")
+            series = {tuple(k): v for k, v in into["series"]}
+            for key, value in fam["series"]:
+                key = tuple(key)
+                if key not in series:
+                    series[key] = _copy_value(fam, value)
+                elif fam["kind"] == "counter":
+                    series[key] = series[key] + value
+                elif fam["kind"] == "gauge":
+                    agg = series[key]
+                    agg["value"] += value["value"]
+                    agg["min"] = min(agg["min"], value["min"])
+                    agg["max"] = max(agg["max"], value["max"])
+                else:
+                    series[key] = merge_histogram_snapshots(
+                        [series[key], value])
+            into["series"] = [[list(k), v]
+                              for k, v in sorted(series.items())]
+    return dict(sorted(merged.items()))
+
+
+def _copy_value(fam: dict, value):
+    """Deep-enough copy of one series value so merging never mutates a
+    caller's snapshot in place."""
+    if fam["kind"] == "counter":
+        return value
+    if fam["kind"] == "gauge":
+        return dict(value)
+    return merge_histogram_snapshots([value])
+
+
 __all__ = ["CounterFamily", "GaugeFamily", "HistogramFamily",
            "FleetRegistry", "merge_histogram",
-           "merge_histogram_snapshots", "merge_snapshots"]
+           "merge_histogram_snapshots", "merge_snapshots",
+           "merge_family_snapshots"]

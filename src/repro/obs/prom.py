@@ -6,9 +6,13 @@
 :class:`~repro.obs.fleet.FleetRegistry` family snapshot — into the
 ``# TYPE`` / sample-line format every Prometheus-compatible scraper
 (Prometheus, VictoriaMetrics, Grafana Agent, ``promtool check metrics``)
-ingests.  No HTTP server is shipped: the CLI writes the exposition to a
-file (``repro run --prom`` / ``repro farm --prom``) for the textfile
-collector, and the function is trivially servable by any WSGI handler.
+ingests.  Two delivery paths ship with the repo: the CLI writes the
+exposition to a file (``repro run --prom`` / ``repro farm --prom``,
+atomically — temp file + ``os.replace`` — so the textfile collector
+never reads a torn exposition), and the stdlib HTTP admin server
+(:mod:`repro.obs.serve`, ``repro farm --serve``) serves it live at
+``/metrics``; :mod:`repro.obs.federate` merges N shard expositions into
+one (docs/OBSERVABILITY.md, "Telemetry plane").
 
 Mapping rules:
 
@@ -27,6 +31,7 @@ Mapping rules:
 
 from __future__ import annotations
 
+import os
 import re
 from typing import Optional, Sequence
 
@@ -193,13 +198,28 @@ def render_prom(snapshot: dict, prefix: str = "repro_") -> str:
                      "rollup, or family snapshot")
 
 
+#: the Content-Type the exposition format mandates (serve.py sends it)
+PROM_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
 def write_prom(snapshot: dict, path, prefix: str = "repro_") -> int:
     """Write the exposition to ``path`` (textfile-collector style);
-    returns the number of sample/metadata lines written."""
+    returns the number of sample/metadata lines written.
+
+    The write is atomic — rendered to ``<path>.<pid>.tmp`` in the same
+    directory, then ``os.replace``d over the target — because the
+    Prometheus textfile collector polls the path on its own schedule
+    and a torn half-exposition would parse as a truncated scrape.
+    """
     text = render_prom(snapshot, prefix=prefix)
-    with open(path, "w") as fh:
+    path = str(path)
+    tmp = f"{path}.{os.getpid()}.tmp"
+    with open(tmp, "w") as fh:
         fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
     return text.count("\n")
 
 
-__all__ = ["render_prom", "write_prom"]
+__all__ = ["render_prom", "write_prom", "PROM_CONTENT_TYPE"]

@@ -26,7 +26,9 @@ in the full event stream even after rotation or ring eviction.
 from __future__ import annotations
 
 import os
+import queue
 import sys
+import threading
 from collections import deque
 from contextlib import contextmanager
 from pathlib import Path
@@ -143,6 +145,71 @@ class StreamingJsonlExporter(_LineSink):
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+class LineTee(_LineSink):
+    """Fan rendered JSONL lines out to live subscriber queues.
+
+    The seam the telemetry plane's ``/events`` endpoint taps: the tee
+    sits beside the :class:`StreamingJsonlExporter` in a farm's sink
+    list (so every record it sees is byte-identical to the exported
+    line), keeps a ring of the most recent ``maxlen`` lines for
+    catch-up, and pushes each new line into every subscribed queue.
+    Slow consumers never block the reaction path: a full queue drops
+    the line and counts it (per-subscriber ``dropped``).
+
+    Producer side runs on the drive thread; :meth:`subscribe` /
+    :meth:`unsubscribe` run on HTTP handler threads — the subscriber
+    table is lock-guarded, queue hand-off is the stdlib's.
+    """
+
+    def __init__(self, maxlen: int = 1024):
+        super().__init__()
+        self.ring: deque[str] = deque(maxlen=maxlen)
+        self._lock = threading.Lock()
+        self._subs: dict[int, queue.Queue] = {}
+        self._dropped: dict[int, int] = {}
+        self._next_sub = 0
+
+    def _line(self, line: str) -> None:
+        self.ring.append(line)
+        with self._lock:
+            subs = list(self._subs.items())
+        for key, q in subs:
+            try:
+                q.put_nowait(line)
+            except queue.Full:
+                with self._lock:
+                    self._dropped[key] = self._dropped.get(key, 0) + 1
+
+    # ------------------------------------------------------ subscribers
+    def subscribe(self, maxsize: int = 1024) -> "queue.Queue[str]":
+        """Register a live consumer; returns its bounded queue."""
+        q: queue.Queue = queue.Queue(maxsize=maxsize)
+        with self._lock:
+            key = self._next_sub
+            self._next_sub += 1
+            self._subs[key] = q
+            q._tee_key = key            # opaque cookie for unsubscribe
+        return q
+
+    def unsubscribe(self, q) -> int:
+        """Drop a consumer; returns how many of its lines were lost to
+        backpressure while it was subscribed."""
+        key = getattr(q, "_tee_key", None)
+        with self._lock:
+            self._subs.pop(key, None)
+            return self._dropped.pop(key, 0)
+
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def tail(self, n: int) -> list[str]:
+        """The most recent ``n`` ring lines (catch-up before live)."""
+        if n <= 0:
+            return []
+        return list(self.ring)[-n:]
 
 
 class FlightRecorder(_LineSink):

@@ -37,7 +37,7 @@ Pass ``cenv_factory`` to bind real services instead.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional, Union
+from typing import Any, Callable, Optional, Sequence, Union
 
 from ..lang import ast
 from ..lang.errors import RuntimeCeuError
@@ -147,14 +147,20 @@ class Farm:
                  stream: Optional[StreamingJsonlExporter] = None,
                  recorder: Optional[FlightRecorder] = None,
                  cenv_factory: Optional[Callable[[], CEnv]] = None,
-                 check: bool = True):
+                 check: bool = True, sinks: Sequence = (),
+                 subscribers: Sequence = ()):
         self.sim = sim if sim is not None else Simulator()
         self.observe = observe
         self.check = check
         self.cenv_factory = cenv_factory
         self.stream = stream
         self.recorder = recorder
-        self._sinks = [s for s in (stream, recorder) if s is not None]
+        #: extra line sinks (e.g. the /events LineTee) ride beside the
+        #: exporter/recorder; extra hook subscribers (e.g. one shared
+        #: Profiler feeding /flamegraph) attach to every instance's bus
+        self._sinks = [s for s in (stream, recorder) if s is not None] \
+            + list(sinks)
+        self._subscribers = list(subscribers)
 
         self.programs: dict[str, BoundProgram] = {}
         self.instances: list[Instance] = []
@@ -217,6 +223,8 @@ class Farm:
             prog.sched.output_handler = self._output_handler(program)
             if self._sinks:
                 prog.observe(InstanceTap(self._sinks, index))
+            for sub in self._subscribers:
+                prog.observe(sub)
             inst = Instance(index, program, prog, self.sim.now)
             self.instances.append(inst)
             self._spawned.labels(program).inc()

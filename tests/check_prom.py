@@ -1,0 +1,221 @@
+"""Structural Prometheus text-exposition (0.0.4) validator.
+
+Checks the invariants ``promtool check metrics`` would enforce on the
+subset of the format we emit — metric/label name syntax, ``# TYPE``
+before the first sample and at most once per family, no duplicate
+(name, labelset) samples, histogram bucket cumulativity and the
+``+Inf`` bucket matching ``_count`` — without needing promtool
+installed.  Dual use:
+
+* imported by the test suite (``tests/test_check_prom.py`` runs it as
+  part of tier-1, over the farm golden exposition and live ``/metrics``
+  bodies);
+* run as a script in CI as the fallback when promtool is unavailable:
+  ``python tests/check_prom.py metrics.prom [...]``.
+"""
+
+import re
+import sys
+
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+(?P<timestamp>-?\d+))?$")
+_LABEL_PAIR = re.compile(
+    r'(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"')
+_TYPES = {"counter", "gauge", "histogram", "summary", "untyped"}
+_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def _base_name(name, types):
+    """The family a sample belongs to: strip histogram/summary suffixes
+    when (and only when) the stripped name was TYPE-declared."""
+    for suffix in _SUFFIXES:
+        if name.endswith(suffix) and name[:-len(suffix)] in types:
+            return name[:-len(suffix)]
+    return name
+
+
+def _parse_value(raw):
+    if raw in ("+Inf", "Inf"):
+        return float("inf")
+    if raw == "-Inf":
+        return float("-inf")
+    if raw == "NaN":
+        return float("nan")
+    return float(raw)  # raises ValueError on junk
+
+
+def _parse_labels(errors, lineno, raw):
+    """Parse ``a="b",c="d"`` into a sorted tuple; record violations."""
+    pairs = []
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR.match(rest)
+        if match is None:
+            errors.append(f"line {lineno}: malformed label syntax "
+                          f"at {rest[:30]!r}")
+            return tuple(pairs)
+        name = match.group("name")
+        if not _LABEL_NAME.match(name):
+            errors.append(f"line {lineno}: bad label name {name!r}")
+        if name.startswith("__"):
+            errors.append(f"line {lineno}: label {name!r} is reserved "
+                          f"(double underscore)")
+        pairs.append((name, match.group("value")))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            errors.append(f"line {lineno}: expected ',' between labels "
+                          f"at {rest[:30]!r}")
+            return tuple(pairs)
+    names = [n for n, _ in pairs]
+    if len(names) != len(set(names)):
+        errors.append(f"line {lineno}: duplicate label name")
+    return tuple(sorted(pairs))
+
+
+def _check_histogram(errors, family, series):
+    """Bucket cumulativity, +Inf == _count, _sum/_count present."""
+    for labelset, h in sorted(series.items()):
+        where = f"histogram {family}" + (
+            "{" + ",".join(f'{n}="{v}"' for n, v in labelset) + "}"
+            if labelset else "")
+        buckets = h.get("buckets", [])
+        if not buckets:
+            errors.append(f"{where}: no _bucket samples")
+            continue
+        prev = None
+        for le, value in buckets:
+            if prev is not None and value < prev:
+                errors.append(f"{where}: bucket le={le} count {value} "
+                              f"below previous {prev} (not cumulative)")
+            prev = value
+        bounds = [le for le, _ in buckets]
+        if sorted(bounds) != bounds:
+            errors.append(f"{where}: bucket bounds out of order")
+        if bounds and bounds[-1] != float("inf"):
+            errors.append(f"{where}: missing le=\"+Inf\" bucket")
+        if "count" not in h:
+            errors.append(f"{where}: missing _count sample")
+        elif bounds and bounds[-1] == float("inf") \
+                and buckets[-1][1] != h["count"]:
+            errors.append(f"{where}: +Inf bucket {buckets[-1][1]} != "
+                          f"_count {h['count']}")
+        if "sum" not in h:
+            errors.append(f"{where}: missing _sum sample")
+
+
+def check_prom(text) -> list:
+    """Return a list of human-readable violations (empty = valid)."""
+    errors: list = []
+    types: dict = {}           # family -> declared type
+    seen_samples: set = set()  # (name, labelset) uniqueness
+    families_sampled: set = set()
+    histograms: dict = {}      # family -> {labelset(no le) -> data}
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line != line.strip():
+            if line.startswith(" ") or line.startswith("\t"):
+                errors.append(f"line {lineno}: leading whitespace")
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) < 2 or parts[1] not in ("TYPE", "HELP"):
+                continue       # free-form comment
+            if parts[1] == "TYPE":
+                if len(parts) < 4:
+                    errors.append(f"line {lineno}: malformed TYPE line")
+                    continue
+                family, kind = parts[2], parts[3].strip()
+                if not _METRIC_NAME.match(family):
+                    errors.append(f"line {lineno}: bad metric name "
+                                  f"{family!r}")
+                if kind not in _TYPES:
+                    errors.append(f"line {lineno}: unknown type "
+                                  f"{kind!r}")
+                if family in types:
+                    errors.append(f"line {lineno}: duplicate TYPE for "
+                                  f"{family}")
+                if family in families_sampled:
+                    errors.append(f"line {lineno}: TYPE for {family} "
+                                  f"after its samples")
+                types[family] = kind
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            errors.append(f"line {lineno}: unparseable sample "
+                          f"{line[:60]!r}")
+            continue
+        name = match.group("name")
+        if not _METRIC_NAME.match(name):
+            errors.append(f"line {lineno}: bad metric name {name!r}")
+        labels = _parse_labels(errors, lineno,
+                               match.group("labels") or "")
+        try:
+            value = _parse_value(match.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value "
+                          f"{match.group('value')!r}")
+            continue
+        key = (name, labels)
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample {name}"
+                          f"{dict(labels)!r}")
+        seen_samples.add(key)
+        family = _base_name(name, types)
+        families_sampled.add(family)
+        kind = types.get(family)
+        if kind == "counter" and value == value and value < 0:
+            errors.append(f"line {lineno}: counter {name} is negative")
+        if kind == "histogram":
+            bare = tuple(p for p in labels if p[0] != "le")
+            data = histograms.setdefault(family, {}).setdefault(
+                bare, {"buckets": []})
+            if name.endswith("_bucket"):
+                le = dict(labels).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: _bucket without "
+                                  f"le label")
+                else:
+                    data["buckets"].append((_parse_value(le), value))
+            elif name.endswith("_sum"):
+                data["sum"] = value
+            elif name.endswith("_count"):
+                data["count"] = value
+            else:
+                errors.append(f"line {lineno}: sample {name} on "
+                              f"histogram family without "
+                              f"_bucket/_sum/_count suffix")
+
+    for family, series in sorted(histograms.items()):
+        _check_histogram(errors, family, series)
+    for family in sorted(set(types) - families_sampled):
+        errors.append(f"TYPE {family} declared but never sampled")
+    return errors
+
+
+def main(argv) -> int:
+    status = 0
+    for path in argv:
+        with open(path, encoding="utf-8") as handle:
+            text = handle.read()
+        errors = check_prom(text)
+        for message in errors:
+            print(f"{path}: {message}")
+        if errors:
+            status = 1
+        else:
+            samples = sum(1 for line in text.splitlines()
+                          if line.strip() and not line.startswith("#"))
+            print(f"{path}: OK ({samples} samples)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

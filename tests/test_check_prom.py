@@ -1,0 +1,126 @@
+"""The structural exposition validator itself (``tests/check_prom.py``)
+and its run over everything the repo emits: the farm golden, a live
+fleet exposition, and a served ``/metrics`` body all validate clean —
+the same gate CI applies with (or without) a real promtool.
+"""
+
+from pathlib import Path
+
+from check_prom import check_prom
+from repro.apps import load
+from repro.obs import render_prom
+from repro.runtime.farm import Farm
+
+GOLDEN = Path(__file__).parent / "goldens" / "farm_blink.prom"
+
+
+class TestAccepts:
+    def test_minimal_counter(self):
+        assert check_prom("# TYPE x_total counter\nx_total 1\n") == []
+
+    def test_labelled_series_and_escapes(self):
+        text = ('# TYPE ev_total counter\n'
+                'ev_total{event="a\\"b",program="p"} 3\n'
+                'ev_total{event="other",program="p"} 0\n')
+        assert check_prom(text) == []
+
+    def test_well_formed_histogram(self):
+        text = ('# TYPE lat histogram\n'
+                'lat_bucket{le="10"} 2\n'
+                'lat_bucket{le="100"} 5\n'
+                'lat_bucket{le="+Inf"} 6\n'
+                'lat_sum 321\n'
+                'lat_count 6\n')
+        assert check_prom(text) == []
+
+    def test_special_values_and_timestamps(self):
+        text = ('# TYPE g gauge\ng NaN\n'
+                '# TYPE h gauge\nh{x="1"} +Inf 1700000000\n')
+        assert check_prom(text) == []
+
+    def test_help_and_comments_ignored(self):
+        text = ('# just a comment\n'
+                '# HELP x_total the help text\n'
+                '# TYPE x_total counter\nx_total 0\n')
+        assert check_prom(text) == []
+
+
+class TestRejects:
+    def test_bad_metric_name(self):
+        errs = check_prom("2bad 1\n")
+        assert any("unparseable sample" in e for e in errs)
+        errs = check_prom("# TYPE bad-name counter\nx 1\n")
+        assert any("bad metric name" in e for e in errs)
+
+    def test_bad_label_name_and_reserved(self):
+        errs = check_prom('# TYPE x counter\nx{__name__="y"} 1\n')
+        assert any("reserved" in e for e in errs)
+
+    def test_duplicate_sample(self):
+        errs = check_prom('# TYPE x counter\n'
+                          'x{a="1"} 1\nx{a="1"} 2\n')
+        assert any("duplicate sample" in e for e in errs)
+
+    def test_duplicate_type_line(self):
+        errs = check_prom("# TYPE x counter\n# TYPE x counter\nx 1\n")
+        assert any("duplicate TYPE" in e for e in errs)
+
+    def test_type_after_samples(self):
+        errs = check_prom("x 1\n# TYPE x counter\n")
+        assert any("after its samples" in e for e in errs)
+
+    def test_unknown_type(self):
+        errs = check_prom("# TYPE x rainbow\nx 1\n")
+        assert any("unknown type" in e for e in errs)
+
+    def test_negative_counter(self):
+        errs = check_prom("# TYPE x counter\nx -1\n")
+        assert any("negative" in e for e in errs)
+
+    def test_non_cumulative_buckets(self):
+        errs = check_prom('# TYPE h histogram\n'
+                          'h_bucket{le="1"} 5\n'
+                          'h_bucket{le="+Inf"} 3\n'
+                          'h_sum 1\nh_count 3\n')
+        assert any("not cumulative" in e for e in errs)
+
+    def test_inf_bucket_must_match_count(self):
+        errs = check_prom('# TYPE h histogram\n'
+                          'h_bucket{le="1"} 1\n'
+                          'h_bucket{le="+Inf"} 5\n'
+                          'h_sum 1\nh_count 6\n')
+        assert any("!= _count" in e for e in errs)
+
+    def test_missing_inf_bucket(self):
+        errs = check_prom('# TYPE h histogram\n'
+                          'h_bucket{le="1"} 1\n'
+                          'h_sum 1\nh_count 1\n')
+        assert any("+Inf" in e for e in errs)
+
+    def test_missing_sum_and_count(self):
+        errs = check_prom('# TYPE h histogram\n'
+                          'h_bucket{le="+Inf"} 1\n')
+        assert any("_sum" in e for e in errs)
+        assert any("_count" in e for e in errs)
+
+    def test_bad_value(self):
+        errs = check_prom("# TYPE x gauge\nx one\n")
+        assert any("bad sample value" in e for e in errs)
+
+    def test_malformed_labels(self):
+        errs = check_prom('# TYPE x counter\nx{a=1} 1\n')
+        assert any("malformed label" in e for e in errs)
+
+    def test_declared_but_never_sampled(self):
+        errs = check_prom("# TYPE ghost counter\n")
+        assert any("never sampled" in e for e in errs)
+
+
+class TestRepoExpositions:
+    def test_farm_golden_validates(self):
+        assert check_prom(GOLDEN.read_text()) == []
+
+    def test_live_fleet_exposition_validates(self):
+        farm = Farm(load("blink"), n=25, program="blink")
+        farm.run_until(1_000_000)
+        assert check_prom(render_prom(farm.fleet_snapshot())) == []

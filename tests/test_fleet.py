@@ -18,7 +18,8 @@ The load-bearing properties:
 import pytest
 
 from repro.obs import (FleetRegistry, Gauge, Histogram, MetricsRegistry,
-                       merge_histogram, merge_snapshots, render_prom)
+                       merge_family_snapshots, merge_histogram,
+                       merge_snapshots, render_prom)
 from repro.obs.fleet import merge_histogram_snapshots
 from repro.runtime import Program
 
@@ -147,6 +148,112 @@ class TestMerge:
         merged = merge_snapshots([])
         assert merged["instances"] == 0
         assert merged["counters"] == {}
+
+    def test_merge_with_empty_shard_is_identity(self):
+        """A shard that has emitted nothing (fresh boot) contributes
+        nothing but still counts as an instance."""
+        reg = MetricsRegistry()
+        reg.counter("reactions_total").inc(5)
+        merged = merge_snapshots([reg.snapshot(),
+                                  {"counters": {}, "gauges": {},
+                                   "histograms": {}}])
+        assert merged["instances"] == 2
+        assert merged["counters"]["reactions_total"] == 5
+
+    def test_merge_disjoint_families_unions(self):
+        a = MetricsRegistry()
+        a.counter("only_a_total").inc(1)
+        b = MetricsRegistry()
+        b.counter("only_b_total").inc(2)
+        b.gauge("only_b_gauge").set(3)
+        merged = merge_snapshots([a.snapshot(), b.snapshot()])
+        assert merged["counters"]["only_a_total"] == 1
+        assert merged["counters"]["only_b_total"] == 2
+        assert merged["gauges"]["only_b_gauge"]["value"] == 3
+
+    def test_merge_snapshots_bucket_mismatch_raises(self):
+        """Shards disagreeing on histogram bounds is deploy skew — it
+        must raise, not silently mis-bucket."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", (10, 100)).record(5)
+        b.histogram("lat", (10, 1000)).record(5)
+        with pytest.raises(ValueError, match="bounds differ"):
+            merge_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_gauge_watermarks_survive_two_hops(self):
+        """min/max fold correctly when a merged snapshot is merged
+        again (federation re-rolls shard rollups)."""
+        regs = [MetricsRegistry() for _ in range(2)]
+        regs[0].gauge("q").set(10)
+        regs[1].gauge("q").set(-4)
+        first = merge_snapshots([r.snapshot() for r in regs])
+        again = merge_snapshots([first, first])
+        assert again["gauges"]["q"]["min"] == -4
+        assert again["gauges"]["q"]["max"] == 10
+        assert again["gauges"]["q"]["value"] == 12
+
+
+# ------------------------------------------------- cross-shard families
+class TestMergeFamilySnapshots:
+    def _registry(self, program: str, n: int) -> FleetRegistry:
+        fleet = FleetRegistry()
+        fleet.counter_family("spawned_total", ("program",)) \
+            .labels(program).inc(n)
+        return fleet
+
+    def test_counters_sum_and_disjoint_series_union(self):
+        merged = merge_family_snapshots([
+            self._registry("a", 2).snapshot(),
+            self._registry("a", 3).snapshot(),
+            self._registry("b", 7).snapshot(),
+        ])
+        series = {tuple(k): v
+                  for k, v in merged["spawned_total"]["series"]}
+        assert series[("a",)] == 5
+        assert series[("b",)] == 7
+
+    def test_empty_input_and_empty_shard(self):
+        assert merge_family_snapshots([]) == {}
+        one = self._registry("a", 1).snapshot()
+        assert merge_family_snapshots([one, {}]) == \
+            merge_family_snapshots([one])
+
+    def test_schema_skew_raises(self):
+        a = FleetRegistry()
+        a.counter_family("x_total", ("program",)).labels("p").inc()
+        b = FleetRegistry()
+        b.counter_family("x_total", ("shard",)).labels("s").inc()
+        with pytest.raises(ValueError, match="schema skew"):
+            merge_family_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_kind_skew_raises(self):
+        a = FleetRegistry()
+        a.counter_family("x", ("l",)).labels("v").inc()
+        b = FleetRegistry()
+        b.gauge_family("x", ("l",)).labels("v").set(1)
+        with pytest.raises(ValueError, match="schema skew"):
+            merge_family_snapshots([a.snapshot(), b.snapshot()])
+
+    def test_merge_never_mutates_inputs(self):
+        a = self._registry("a", 1).snapshot()
+        b = self._registry("a", 2).snapshot()
+        before = repr(a) + repr(b)
+        merge_family_snapshots([a, b])
+        assert repr(a) + repr(b) == before
+
+    def test_histogram_families_bucket_merge(self):
+        mk = []
+        for values in ((5, 50), (500,)):
+            fleet = FleetRegistry()
+            fam = fleet.histogram_family("lat_us", ("program",),
+                                         (10, 100, 1000))
+            for v in values:
+                fam.labels("p").record(v)
+            mk.append(fleet.snapshot())
+        merged = merge_family_snapshots(mk)
+        series = {tuple(k): v for k, v in merged["lat_us"]["series"]}
+        assert series[("p",)]["count"] == 3
+        assert series[("p",)]["max"] == 500
 
 
 # ------------------------------------------------------- gauge satellite
