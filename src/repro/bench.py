@@ -74,6 +74,18 @@ SERVE_PATH = BENCH_DIR / "BENCH_serve.json"
 #: budget; scraped-under-load is recorded, not gated)
 SERVE_BUDGET = 1.05
 
+#: the checkpoint-plane record (``--checkpoint``; both ratios gated)
+CHECKPOINT_PATH = BENCH_DIR / "BENCH_checkpoint.json"
+
+#: hard ceiling on journal-recording drive overhead: keeping every
+#: instance checkpointable must cost the farm drive loop <= 5%
+CHECKPOINT_BUDGET = 1.05
+
+#: floor on the warm-start speedup: replaying a checkpoint into a fresh
+#: instance (telemetry attached only after the replay) must beat a cold
+#: fully-instrumented boot-and-drive to the same state by >= 5x
+WARM_SPEEDUP_MIN = 5.0
+
 #: overhead ratios gated against the baseline.  The ``causal`` mode
 #: (CausalGraph subscribed) is *recorded* in snapshots but not gated:
 #: older baselines predate it, and its cost tracks the full-export modes
@@ -417,6 +429,147 @@ def bench_serve(n_instances: Optional[int] = None,
     }
 
 
+CKPT_INSTANCES = 200
+#: long enough that steady-state reaction work dominates the fixed
+#: per-instance spawn cost both sides pay — the regime warm starts are
+#: for (short horizons under-report the speedup)
+CKPT_SIM_US = 5_000_000
+
+
+def _ckpt_drive(source: str, n: int, sim_us: int, record: bool) -> float:
+    """One detached-farm drive with journal recording on or off."""
+    from .runtime.farm import Farm
+
+    farm = Farm(source, n=n, program="blink", observe=False,
+                record=record)
+    start = time.perf_counter()
+    farm.run_until(sim_us)
+    return time.perf_counter() - start
+
+
+def _instrumented_farm(source: str, tmp: Path, tag: str):
+    """A farm with the full telemetry stack a production fleet runs:
+    per-instance metrics plus the streaming JSONL tap."""
+    from .runtime.farm import Farm
+
+    stream = StreamingJsonlExporter(Path(tmp) / f"{tag}.jsonl",
+                                    flush_every=1024)
+    farm = Farm(source, observe=True, stream=stream, record=True)
+    farm.add_program("blink", source)
+    return farm
+
+
+def bench_checkpoint(n_instances: Optional[int] = None,
+                     sim_us: Optional[int] = None,
+                     repeats: int = 3) -> dict:
+    """The checkpoint-plane section (``bench --checkpoint``).
+
+    Three measurements:
+
+    * **journal-recording overhead** — interleaved best-of-``repeats``
+      detached-farm drives with ``record=True`` vs ``record=False``;
+      the ratio is gated at :data:`CHECKPOINT_BUDGET` (keeping every
+      instance checkpointable must be near-free on the reaction path);
+    * **capture/restore cost** — best-of-``repeats`` ``snapshot()`` and
+      ``restore()`` round trips on one driven instance, plus the
+      serialized size (recorded, not gated);
+    * **warm-start speedup** — time to stand up ``n`` fully-telemetered
+      instances at a target state, cold (boot + drive with metrics and
+      the JSONL tap attached) vs warm (``Farm.spawn(warm_from=ckpt)``:
+      detached journal replay, telemetry attached after); gated at
+      >= :data:`WARM_SPEEDUP_MIN`.
+    """
+    import tempfile
+
+    from .apps import load
+    from .obs.fleet import FleetRegistry
+    from .runtime.checkpoint import restore
+    from .runtime.farm import Farm, _StubCEnv
+
+    if n_instances is None:
+        n_instances = CKPT_INSTANCES   # late-bound so tests can shrink it
+    if sim_us is None:
+        sim_us = CKPT_SIM_US
+    source = load("blink")
+
+    # 1) journal-recording overhead on the farm drive loop (gated)
+    best = {"norecord": float("inf"), "record": float("inf")}
+    for _ in range(repeats):
+        best["norecord"] = min(best["norecord"],
+                               _ckpt_drive(source, n_instances, sim_us,
+                                           False))
+        best["record"] = min(best["record"],
+                             _ckpt_drive(source, n_instances, sim_us,
+                                         True))
+    record_ratio = best["record"] / best["norecord"] \
+        if best["norecord"] else 0.0
+
+    # 2) capture + restore cost and size on one driven instance
+    seed = Farm(source, n=1, program="blink", observe=False, record=True)
+    seed.run_until(sim_us)
+    snapshot_s = restore_s = float("inf")
+    ck = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ck = seed.checkpoint(0)
+        snapshot_s = min(snapshot_s, time.perf_counter() - start)
+    # blink calls platform C stubs — restore needs the same auto-stubbing
+    # environment the farm gives its instances
+    stub_calls = FleetRegistry().counter_family(
+        "bench_c_calls_total", ("symbol",))
+    for _ in range(repeats):
+        cenv = _StubCEnv(stub_calls)
+        start = time.perf_counter()
+        restore(ck, cenv=cenv)
+        restore_s = min(restore_s, time.perf_counter() - start)
+
+    # 3) warm-start vs cold instrumented boot to the same state (gated)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+        cold_s = float("inf")
+        for r in range(repeats):
+            farm = _instrumented_farm(source, Path(tmp), f"cold{r}")
+            start = time.perf_counter()
+            farm.spawn(n_instances, program="blink")
+            farm.run_until(sim_us)
+            cold_s = min(cold_s, time.perf_counter() - start)
+            farm.close()
+        warm_s = float("inf")
+        for r in range(repeats):
+            farm = _instrumented_farm(source, Path(tmp), f"warm{r}")
+            start = time.perf_counter()
+            farm.spawn(n_instances, program="blink", warm_from=ck)
+            warm_s = min(warm_s, time.perf_counter() - start)
+            farm.close()
+    warm_speedup = cold_s / warm_s if warm_s else 0.0
+    within = (record_ratio <= CHECKPOINT_BUDGET
+              and warm_speedup >= WARM_SPEEDUP_MIN)
+    return {
+        "workload": {"program": "blink", "instances": n_instances,
+                     "sim_us": sim_us, "repeats": repeats},
+        "drive_s": best,
+        "overhead": {"record_vs_norecord": record_ratio},
+        "capture": {
+            "snapshot_s": snapshot_s,
+            "restore_s": restore_s,
+            "bytes": len(ck.to_bytes()),
+            "journal_entries": len(ck.journal),
+            "reactions": ck.reaction_count,
+        },
+        "warm_start": {
+            "cold_boot_s": cold_s,
+            "warm_s": warm_s,
+            "speedup": warm_speedup,
+            "cold_per_instance_ms": cold_s / n_instances * 1e3,
+            "warm_per_instance_ms": warm_s / n_instances * 1e3,
+        },
+        "budget": {
+            "record_vs_norecord_max": CHECKPOINT_BUDGET,
+            "warm_speedup_min": WARM_SPEEDUP_MIN,
+            "within_budget": within,
+        },
+    }
+
+
 def _analysis_corpus() -> list[Path]:
     root = Path(__file__).resolve().parents[2]
     return (sorted((root / "examples" / "ceu").glob("*.ceu"))
@@ -518,7 +671,8 @@ def bench_analysis(repeats: int = 3) -> dict:
 
 
 def snapshot(repeats: int = 3, farm: bool = False,
-             analysis: bool = False, serve: bool = False) -> dict:
+             analysis: bool = False, serve: bool = False,
+             checkpoint: bool = False) -> dict:
     """The full ``repro bench`` measurement (pure data, JSON-ready)."""
     import tempfile
 
@@ -537,6 +691,8 @@ def snapshot(repeats: int = 3, farm: bool = False,
         snap["analysis"] = bench_analysis(repeats)
     if serve:
         snap["serve"] = bench_serve(repeats=repeats)
+    if checkpoint:
+        snap["checkpoint"] = bench_checkpoint(repeats=repeats)
     return snap
 
 
@@ -603,8 +759,10 @@ def main(args) -> int:
     with_farm = getattr(args, "farm", False)
     with_analysis = getattr(args, "analysis", False)
     with_serve = getattr(args, "serve", False)
+    with_checkpoint = getattr(args, "checkpoint", False)
     snap = snapshot(repeats=args.repeats, farm=with_farm,
-                    analysis=with_analysis, serve=with_serve)
+                    analysis=with_analysis, serve=with_serve,
+                    checkpoint=with_checkpoint)
     out_dir = Path(args.out) if args.out else BENCH_DIR
     out_dir.mkdir(parents=True, exist_ok=True)
     out = write_snapshot(snap, out_dir)
@@ -663,6 +821,38 @@ def main(args) -> int:
                   f"{serve['budget']['idle_vs_noserver_max']:.2f}x budget",
                   file=sys.stderr)
             return 1
+    if with_checkpoint:
+        ckpt = snap["checkpoint"]
+        ckpt_path = out_dir / CHECKPOINT_PATH.name if args.out \
+            else CHECKPOINT_PATH
+        ckpt_path.write_text(
+            json.dumps(ckpt, indent=2, sort_keys=True) + "\n")
+        cap = ckpt["capture"]
+        warm = ckpt["warm_start"]
+        ratio = ckpt["overhead"]["record_vs_norecord"]
+        print(f"wrote {ckpt_path}")
+        print(f"checkpoint: {ckpt['workload']['instances']} instances; "
+              f"recording overhead {ratio:.3f}x "
+              f"(budget {ckpt['budget']['record_vs_norecord_max']:.2f}x); "
+              f"snapshot {cap['snapshot_s'] * 1e3:.2f}ms / "
+              f"restore {cap['restore_s'] * 1e3:.2f}ms / "
+              f"{cap['bytes']} B; warm start "
+              f"{warm['warm_per_instance_ms']:.3f}ms/inst vs cold "
+              f"{warm['cold_per_instance_ms']:.3f}ms/inst "
+              f"= {warm['speedup']:.1f}x "
+              f"(floor {ckpt['budget']['warm_speedup_min']:.0f}x)")
+        if ratio > ckpt["budget"]["record_vs_norecord_max"]:
+            print(f"REGRESSION checkpoint: recording overhead "
+                  f"{ratio:.3f}x exceeds "
+                  f"{ckpt['budget']['record_vs_norecord_max']:.2f}x "
+                  f"budget", file=sys.stderr)
+            return 1
+        if warm["speedup"] < ckpt["budget"]["warm_speedup_min"]:
+            print(f"REGRESSION checkpoint: warm-start speedup "
+                  f"{warm['speedup']:.1f}x below "
+                  f"{ckpt['budget']['warm_speedup_min']:.0f}x floor",
+                  file=sys.stderr)
+            return 1
     baseline_path = Path(args.baseline) if args.baseline \
         else BASELINE_PATH
     if args.update_baseline:
@@ -688,5 +878,6 @@ def main(args) -> int:
 
 
 __all__ = ["SCHEMA", "bench_vm", "bench_stream", "bench_farm",
-           "bench_analysis", "bench_serve", "snapshot", "write_snapshot",
-           "check_regression", "make_fanout"]
+           "bench_analysis", "bench_serve", "bench_checkpoint",
+           "snapshot", "write_snapshot", "check_regression",
+           "make_fanout"]

@@ -26,7 +26,16 @@ reproduction's analysis artifacts:
             across a semantic divergence)
 ``debug``   time-travel debugger: replay deterministically, pause at any
             reaction boundary, inspect memory/trails, step forward *and
-            backward* (``step``/``back``/``goto N``/``state``/``why``)
+            backward* (``step``/``back``/``goto N``/``state``/``why``);
+            ``goto`` replays from the nearest parked checkpoint —
+            O(distance), not O(run) (``checkpoints`` shows the ring,
+            ``save``/``load`` and ``--from-checkpoint`` persist and
+            reopen a session)
+``postmortem`` inspect a black-box bundle captured by the farm watchdog
+            or ``run --postmortem``: summary + causal slice +
+            flight-recorder tail, ``--debug`` to replay it in the
+            time-travel REPL, ``--why TARGET`` for a causal slice at
+            the captured boundary
 ``profile`` run with full instrumentation and print the metrics report
             (``--json`` writes the raw snapshot)
 ``c``       emit the §4.4 C translation to stdout (or ``-o``);
@@ -54,7 +63,9 @@ reproduction's analysis artifacts:
             ``--serve HOST:PORT`` keeps the fleet on a wall-clock driver
             and serves the live telemetry plane (``/metrics``,
             ``/healthz``, ``/readyz``, ``/snapshot``, ``/events``,
-            ``/flamegraph``) with graceful SIGTERM drain
+            ``/flamegraph``, plus ``POST /checkpoint`` and
+            ``/postmortems`` with ``--record``/``--postmortem-dir``)
+            with graceful SIGTERM drain
 ``top``     live ANSI dashboard over a fleet — reactions/s, latency
             percentiles, watchdog verdicts, per-shard table — against an
             in-process farm (pass a ``.ceu`` file) or a remote
@@ -220,13 +231,37 @@ def _feed_script(program: Program, script) -> None:
             program.at(item[1])
 
 
+def _crash_bundle(program: Program, source: str, args, recorder,
+                  err: BaseException) -> Path:
+    """Write the black-box bundle for a crashed ``repro run``: a crash
+    checkpoint (parked one reaction short of the failing one), the
+    flight-recorder ring when one was on, and the error itself."""
+    from .runtime.checkpoint import snapshot_crash, write_postmortem
+
+    ck = snapshot_crash(program, source=source, filename=args.file)
+    directory = Path(args.postmortem)
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = Path(args.file).stem or "prog"
+    bundle = directory / f"{stem}-crash-r{ck.reaction_count}"
+    n = 0
+    while bundle.exists():
+        n += 1
+        bundle = directory / f"{stem}-crash-r{ck.reaction_count}.{n}"
+    write_postmortem(
+        bundle, ck, reason="exception",
+        recorder_lines=recorder.lines() if recorder is not None else None,
+        detail={"error": repr(err)})
+    return bundle
+
+
 def cmd_run(args) -> int:
     from contextlib import nullcontext
 
     source = _load(args.file)
     program = Program(source, filename=args.file, trace=args.trace,
-                      observe=args.stats or bool(args.prom))
-    chrome = jsonl = None
+                      observe=args.stats or bool(args.prom),
+                      record=bool(args.postmortem))
+    chrome = jsonl = recorder = None
     if args.trace_json:
         chrome = program.observe(
             ChromeTraceExporter(flows_from=program.hooks))
@@ -238,11 +273,18 @@ def cmd_run(args) -> int:
 
         recorder = program.observe(FlightRecorder(args.flight_recorder))
         guard = recorder.dump_on_exception()
-    with guard:
-        program.start()
-        if args.inputs_file:
-            _feed_script(program, _load_script(args.inputs_file))
-        _feed_inputs(program, args.inputs)
+    try:
+        with guard:
+            program.start()
+            if args.inputs_file:
+                _feed_script(program, _load_script(args.inputs_file))
+            _feed_inputs(program, args.inputs)
+    except BaseException as err:
+        if args.postmortem:
+            bundle = _crash_bundle(program, source, args, recorder, err)
+            print(f"wrote postmortem bundle {bundle} (open with "
+                  f"`repro postmortem {bundle}`)", file=sys.stderr)
+        raise
     sys.stdout.write(program.output())
     if args.trace:
         print("--- trace ---", file=sys.stderr)
@@ -374,14 +416,13 @@ def cmd_why(args) -> int:
     return 1
 
 
-def cmd_debug(args) -> int:
-    """Interactive time-travel REPL (see docs/OBSERVABILITY.md)."""
+def _debug_repl(dbg, label: str) -> int:
+    """The time-travel REPL loop shared by ``repro debug`` and
+    ``repro postmortem --debug``."""
     from .obs import TimeTravelDebugger
+    from .runtime.checkpoint import CheckpointError
 
-    source = _load(args.file)
-    script = _load_script(args.inputs_file) if args.inputs_file else []
-    dbg = TimeTravelDebugger(source, script, filename=args.file)
-    print(f"{args.file}: {dbg.total} reaction(s) replayed "
+    print(f"{label}: {dbg.total} reaction(s) replayed "
           f"deterministically; `help` lists commands")
     print(dbg.render_state())
     interactive = sys.stdin.isatty()
@@ -399,7 +440,8 @@ def cmd_debug(args) -> int:
             break
         elif cmd in ("h", "help"):
             print("step | back | goto N | state | trace | "
-                  "why TARGET | sig | quit")
+                  "why TARGET | sig | checkpoints | save FILE | "
+                  "load FILE | quit")
         elif cmd in ("s", "step"):
             dbg.step()
             print(dbg.render_state())
@@ -418,8 +460,109 @@ def cmd_debug(args) -> int:
         elif cmd == "sig":
             ok = dbg.signature() == dbg.full_signature[:dbg.at]
             print(f"signature prefix match: {ok}")
+        elif cmd == "checkpoints":
+            print(dbg.render_checkpoints())
+        elif cmd == "save" and rest:
+            try:
+                print(dbg.save(rest[0]))
+            except (OSError, CheckpointError) as err:
+                print(f"save failed: {err}")
+        elif cmd == "load" and rest:
+            try:
+                loaded = _open_checkpoint_session(rest[0])
+            except (OSError, ValueError) as err:
+                print(f"load failed: {err}")
+            else:
+                dbg = loaded
+                print(dbg.render_state())
         else:
             print(f"unknown command {line.strip()!r} (try `help`)")
+    return 0
+
+
+def _open_checkpoint_session(path: str):
+    """A debugger session over a saved checkpoint file."""
+    from .obs import TimeTravelDebugger
+    from .runtime.checkpoint import Checkpoint
+
+    return TimeTravelDebugger.from_checkpoint(Checkpoint.load(path))
+
+
+def cmd_debug(args) -> int:
+    """Interactive time-travel REPL (see docs/OBSERVABILITY.md)."""
+    from .obs import TimeTravelDebugger
+
+    if args.from_checkpoint:
+        return _debug_repl(_open_checkpoint_session(args.from_checkpoint),
+                           args.from_checkpoint)
+    if not args.file:
+        print("repro debug: a FILE or --from-checkpoint is required",
+              file=sys.stderr)
+        return 2
+    source = _load(args.file)
+    script = _load_script(args.inputs_file) if args.inputs_file else []
+    dbg = TimeTravelDebugger(source, script, filename=args.file)
+    return _debug_repl(dbg, args.file)
+
+
+def cmd_postmortem(args) -> int:
+    """Inspect a black-box bundle — or list a directory of them."""
+    from .runtime.checkpoint import (MANIFEST_NAME, list_postmortems,
+                                     load_postmortem)
+
+    path = Path(args.bundle)
+    if path.is_dir() and not (path / MANIFEST_NAME).exists():
+        bundles = list_postmortems(path)
+        if not bundles:
+            print(f"{path}: no postmortem bundles", file=sys.stderr)
+            return 1
+        for m in bundles:
+            b = m.get("boundary", {})
+            print(f"{m['bundle']}: [{m.get('reason')}] "
+                  f"{m.get('program') or '?'} — reaction "
+                  f"{b.get('reactions')} at {b.get('clock_us')}us"
+                  + (f" ({m['created_at']})" if m.get("created_at")
+                     else ""))
+        return 0
+    try:
+        bundle = load_postmortem(path)
+    except (OSError, ValueError) as err:
+        print(f"repro postmortem: {err}", file=sys.stderr)
+        return 1
+    if args.debug or args.why:
+        from .obs import TimeTravelDebugger
+
+        dbg = TimeTravelDebugger.from_checkpoint(bundle.checkpoint)
+        if args.why:
+            print(dbg.why(args.why, steps=args.steps))
+            return 0
+        return _debug_repl(dbg, str(path))
+    print(bundle.describe())
+    print(f"  {bundle.checkpoint.describe()}")
+    detail = bundle.manifest.get("detail")
+    if detail:
+        rendered = json.dumps(detail, sort_keys=True, default=repr)
+        print(f"  detail: {rendered}")
+    fleet = bundle.fleet()
+    if fleet:
+        merged = fleet.get("merged", {})
+        print(f"  fleet at capture: {fleet.get('instances')} live / "
+              f"{fleet.get('spawned')} spawned, "
+              f"{merged.get('counters', {}).get('reactions_total', 0)} "
+              f"reactions, sim now {fleet.get('now_us')}us")
+    slice_text = bundle.slice_text()
+    if slice_text:
+        print("--- causal slice of the last reaction ---")
+        print(slice_text.rstrip())
+    lines = bundle.recorder_lines()
+    if lines is not None:
+        tail = lines[-args.tail:] if args.tail else lines
+        print(f"--- flight recorder: last {len(tail)} of {len(lines)} "
+              f"line(s) ---")
+        for line in tail:
+            print(line)
+    print(f"(replay with `repro postmortem {path} --debug` or "
+          f"`--why TARGET`)")
     return 0
 
 
@@ -532,13 +675,38 @@ def _serve_farm(args, source: str, name: str) -> int:
         recorder = FlightRecorder(args.flight_recorder)
     tee = LineTee()
     profiler = Profiler(source=source)
+    record = args.record or bool(args.postmortem_dir)
     farm = Farm(source, n=args.instances, program=name,
                 observe=not args.detached, stream=stream,
-                recorder=recorder, sinks=[tee], subscribers=[profiler])
+                recorder=recorder, sinks=[tee], subscribers=[profiler],
+                record=record, postmortem_dir=args.postmortem_dir)
     driver = WallClockDriver(farm, speed=args.speed)
+    checkpoint_fn = postmortems_fn = None
+    if record:
+        ck_dir = Path(args.postmortem_dir) if args.postmortem_dir \
+            else None
+
+        def checkpoint_fn(instance: int) -> dict:
+            ck = farm.checkpoint(instance)
+            body = {"instance": instance, "describe": ck.describe(),
+                    "boundary": ck.boundary}
+            if ck_dir is not None:
+                ck_dir.mkdir(parents=True, exist_ok=True)
+                dest = ck_dir / (f"checkpoint-{name}-i{instance}"
+                                 f"-r{ck.reaction_count}.json")
+                ck.save(dest)
+                body["path"] = str(dest)
+            return body
+    if args.postmortem_dir:
+        from .runtime.checkpoint import list_postmortems
+
+        def postmortems_fn() -> list:
+            return list_postmortems(args.postmortem_dir)
     server = AdminServer(driver.snapshot, health_fn=farm.watchdog,
                          ready_fn=lambda: driver.running, events=tee,
                          flamegraph_fn=profiler.collapsed,
+                         checkpoint_fn=checkpoint_fn,
+                         postmortems_fn=postmortems_fn,
                          lock=driver.lock, host=host, port=port).start()
     print(f"{args.file}: {args.instances} instance(s) of {name} — "
           f"serving telemetry on {server.address} "
@@ -601,7 +769,9 @@ def cmd_farm(args) -> int:
         recorder = FlightRecorder(args.flight_recorder)
     farm = Farm(source, n=args.instances, program=name,
                 observe=not args.detached, stream=stream,
-                recorder=recorder)
+                recorder=recorder,
+                record=args.record or bool(args.postmortem_dir),
+                postmortem_dir=args.postmortem_dir)
     if args.workload:
         farm.run_script(_load_script(args.workload))
     if args.until:
@@ -626,6 +796,10 @@ def cmd_farm(args) -> int:
     print(f"  watchdog: {len(flagged)} flagged"
           + (f" — first: instance {flagged[0]['instance']} "
              f"({flagged[0]['reason']})" if flagged else ""))
+    captured = [f for f in flagged if f.get("postmortem")]
+    if captured:
+        print(f"  postmortems: {len(captured)} bundle(s) under "
+              f"{args.postmortem_dir} — inspect with `repro postmortem`")
     if args.stats:
         print("--- fleet stats ---", file=sys.stderr)
         print(render_stats(merged), file=sys.stderr)
@@ -789,6 +963,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--prom", metavar="FILE",
                    help="write the metrics snapshot as Prometheus text "
                         "exposition (implies metrics collection)")
+    p.add_argument("--postmortem", metavar="DIR", default=None,
+                   help="if the run crashes, write a black-box bundle "
+                        "under DIR — a crash checkpoint parked one "
+                        "reaction short of the failure, plus the "
+                        "flight-recorder ring when --flight-recorder "
+                        "is on (open with `repro postmortem`)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -824,10 +1004,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "debug", help="time-travel debugger (deterministic replay)")
-    p.add_argument("file")
+    p.add_argument("file", nargs="?", default=None)
     p.add_argument("--inputs", dest="inputs_file", metavar="FILE",
                    help="stimulus script to replay (fuzz/witness format)")
+    p.add_argument("--from-checkpoint", metavar="FILE", default=None,
+                   help="reopen a saved checkpoint file (the REPL's "
+                        "`save`, or a bundle's checkpoint.json) instead "
+                        "of running a program")
     p.set_defaults(fn=cmd_debug)
+
+    p = sub.add_parser(
+        "postmortem",
+        help="inspect a black-box postmortem bundle: summary, causal "
+             "slice, flight-recorder tail — or open it in the "
+             "time-travel REPL")
+    p.add_argument("bundle",
+                   help="bundle directory (from a watchdog capture or "
+                        "`run --postmortem`); a directory *of* bundles "
+                        "is listed instead")
+    p.add_argument("--debug", action="store_true",
+                   help="replay the bundle's checkpoint into the "
+                        "time-travel REPL, parked at the captured "
+                        "boundary")
+    p.add_argument("--why", metavar="TARGET", default=None,
+                   help="print the causal slice of TARGET at the "
+                        "captured boundary (trail:LABEL, event:NAME, "
+                        "reaction:N, ...)")
+    p.add_argument("--steps", action="store_true",
+                   help="include interpreter steps in --why slices")
+    p.add_argument("--tail", type=int, default=20, metavar="N",
+                   help="flight-recorder lines to print in the summary "
+                        "view (default 20; 0 = all)")
+    p.set_defaults(fn=cmd_postmortem)
 
     p = sub.add_parser("profile",
                        help="run fully instrumented; print metrics")
@@ -946,6 +1154,16 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--flight-recorder", type=int, nargs="?", const=4096,
                    default=None, metavar="N",
                    help="shared ring of the last N fleet events")
+    p.add_argument("--record", action="store_true",
+                   help="journal every top-level driver op so any "
+                        "instance can be checkpointed (POST /checkpoint "
+                        "under --serve) or warm-started")
+    p.add_argument("--postmortem-dir", metavar="DIR", default=None,
+                   help="watchdog-flagged instances write black-box "
+                        "bundles here (checkpoint + flight-recorder "
+                        "ring + causal slice + fleet snapshot; implies "
+                        "--record); also enables GET /postmortems "
+                        "under --serve")
     p.add_argument("--detached", action="store_true",
                    help="skip per-instance metrics (overhead baseline; "
                         "farm families and DES counters stay on)")
@@ -1037,6 +1255,12 @@ def build_parser() -> argparse.ArgumentParser:
                         "overhead on a detached farm (recorded as "
                         "benchmarks/BENCH_serve.json; the idle-server "
                         "drive ratio is gated at <= 5%%)")
+    p.add_argument("--checkpoint", action="store_true",
+                   help="also measure the checkpoint plane: journal-"
+                        "recording overhead on the farm drive loop "
+                        "(gated <= 5%%) and warm-start speedup vs a "
+                        "cold instrumented boot (gated >= 5x); recorded "
+                        "as benchmarks/BENCH_checkpoint.json")
     p.set_defaults(fn=cmd_bench)
     return parser
 

@@ -150,45 +150,53 @@ class CausalGraph(HookSubscriber):
                 if self.nodes[s].parent == 0]
 
     # ----------------------------------------------------- target resolution
-    def find(self, at: str) -> Optional[CausalNode]:
+    def find(self, at: str,
+             before: Optional[int] = None) -> Optional[CausalNode]:
         """Resolve a ``repro why --at`` target to its *last* occurrence.
 
         Accepted forms: ``trail:LABEL`` (last resume or kill of the
         trail), ``line:N`` (last interpreter step at source line N),
         ``event:NAME`` (last internal/output emit of NAME),
         ``reaction:N``; a bare token tries trail, then event, then — if
-        numeric — line.
+        numeric — line.  With ``before`` set, only occurrences in
+        reactions ``< before`` are visible — the time-travel debugger
+        uses this so a rewound position cannot see its own future.
         """
         kind, _, name = at.partition(":")
         if name:
             if kind == "trail":
                 return self._last(lambda n: n.event in
                                   ("trail_resume", "trail_kill")
-                                  and n.fields["trail"] == name)
+                                  and n.fields["trail"] == name, before)
             if kind == "line":
                 return self._last(lambda n: n.event == "step"
-                                  and n.fields["line"] == int(name))
+                                  and n.fields["line"] == int(name),
+                                  before)
             if kind == "event":
                 return self._last(lambda n: n.event in
                                   ("emit_internal", "emit_output")
-                                  and n.fields["name"] == name)
+                                  and n.fields["name"] == name, before)
             if kind == "reaction":
                 return self._last(lambda n: n.event == "reaction_begin"
-                                  and n.fields["index"] == int(name))
+                                  and n.fields["index"] == int(name),
+                                  before)
             return None
         token = at
-        node = self.find(f"trail:{token}")
+        node = self.find(f"trail:{token}", before)
         if node is None:
-            node = self.find(f"event:{token}")
+            node = self.find(f"event:{token}", before)
         if node is None and token.isdigit():
-            node = self.find(f"line:{token}")
+            node = self.find(f"line:{token}", before)
         return node
 
-    def _last(self, pred: Callable[[CausalNode], bool]) \
-            -> Optional[CausalNode]:
+    def _last(self, pred: Callable[[CausalNode], bool],
+              before: Optional[int] = None) -> Optional[CausalNode]:
         for span in reversed(self.order):
-            if pred(self.nodes[span]):
-                return self.nodes[span]
+            node = self.nodes[span]
+            if before is not None and node.reaction >= before:
+                continue
+            if pred(node):
+                return node
         return None
 
     # --------------------------------------------------------------- slices
@@ -283,9 +291,10 @@ class CausalGraph(HookSubscriber):
                          f"{node.describe()}  {ref}{wake}{mark}")
         return "\n".join(lines)
 
-    def why(self, at: str, steps: bool = False) -> str:
+    def why(self, at: str, steps: bool = False,
+            before: Optional[int] = None) -> str:
         """``render_slice(find(at))`` with a clear miss message."""
-        node = self.find(at)
+        node = self.find(at, before)
         if node is None:
             known = sorted({n.fields["trail"]
                             for n in self.of("trail_resume")})

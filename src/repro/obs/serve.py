@@ -30,6 +30,15 @@ set of injected providers so any metric source — a wall-clock-driven
 ``/flamegraph`` collapsed stacks (``trigger;trail;kind:line count``)
                 from a shared :class:`~repro.obs.profile.Profiler` —
                 pipe straight into ``flamegraph.pl`` / speedscope
+``/checkpoint`` **POST** — serialize one instance at its current
+                reaction boundary via the injected ``checkpoint_fn``
+                (``?instance=N``, default 0); the body is whatever the
+                provider returns (typically the checkpoint's describe
+                line and the path it was saved to)
+``/postmortems``index of captured black-box bundles from the injected
+                ``postmortems_fn`` (manifests, as
+                :func:`repro.runtime.checkpoint.list_postmortems`
+                returns them)
 ``/``           a plain-text index of the above
 =============  ========================================================
 
@@ -78,6 +87,8 @@ class AdminServer:
                  events=None,
                  flamegraph_fn: Optional[Callable[[], Sequence[str]]] = None,
                  metrics_fn: Optional[Callable[[], str]] = None,
+                 checkpoint_fn: Optional[Callable[[int], dict]] = None,
+                 postmortems_fn: Optional[Callable[[], list]] = None,
                  lock=None, host: str = "127.0.0.1", port: int = 0,
                  prefix: str = "repro_"):
         self.snapshot_fn = snapshot_fn
@@ -86,6 +97,8 @@ class AdminServer:
         self.ready_fn = ready_fn
         self.events = events
         self.flamegraph_fn = flamegraph_fn
+        self.checkpoint_fn = checkpoint_fn
+        self.postmortems_fn = postmortems_fn
         self.lock = lock if lock is not None else threading.RLock()
         self.prefix = prefix
         self.draining = threading.Event()
@@ -98,6 +111,11 @@ class AdminServer:
             FINE_LATENCY_BUCKETS)
         self._bytes = self.registry.counter_family(
             "telemetry_response_bytes_total", ("endpoint",))
+        # /events backpressure drops, mirrored from the tee's cumulative
+        # count at scrape time (satellite of the checkpoint plane)
+        self._events_dropped = None if events is None else \
+            self.registry.counter_family(
+                "telemetry_events_dropped_total", ()).labels()
         self.httpd = ThreadingHTTPServer((host, port), _Handler)
         self.httpd.daemon_threads = True
         self.httpd.admin = self
@@ -136,6 +154,8 @@ class AdminServer:
 
     def _self_metrics(self) -> str:
         with self._meter_lock:
+            if self._events_dropped is not None:
+                self._events_dropped.value = self.events.total_dropped
             snap = self.registry.snapshot()
         return render_prom(snap, prefix=self.prefix) if snap else ""
 
@@ -176,6 +196,16 @@ class AdminServer:
         if self.ready_fn is not None and not self.ready_fn():
             return False, {"status": "starting"}
         return True, {"status": "ready"}
+
+    def take_checkpoint(self, instance: int) -> dict:
+        """Run the checkpoint provider under the driver lock, so the
+        snapshot lands on a reaction boundary (POST /checkpoint)."""
+        with self.lock:
+            return self.checkpoint_fn(instance)
+
+    def postmortems(self) -> list:
+        with self.lock:
+            return list(self.postmortems_fn())
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -246,6 +276,16 @@ class _Handler(BaseHTTPRequestHandler):
                 else:
                     code = 200
                     nbytes = self._stream_events(admin, url.query)
+            elif endpoint == "/postmortems":
+                if admin.postmortems_fn is None:
+                    code = 404
+                    nbytes = self._send_json(404, {
+                        "error": "no postmortem provider attached"})
+                else:
+                    bundles = admin.postmortems()
+                    code = 200
+                    nbytes = self._send_json(200, {
+                        "count": len(bundles), "postmortems": bundles})
             elif endpoint == "/":
                 code = 200
                 nbytes = self._send_text(200, _INDEX)
@@ -258,6 +298,46 @@ class _Handler(BaseHTTPRequestHandler):
         finally:
             us = int((time.perf_counter() - start) * 1_000_000)
             admin._observe(endpoint, code, us, nbytes)
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib signature
+        admin: AdminServer = self.server.admin
+        url = urlparse(self.path)
+        endpoint = url.path.rstrip("/") or "/"
+        start = time.perf_counter()
+        code, nbytes = 500, 0
+        try:
+            # drain any body so keep-alive connections stay in sync
+            length = int(self.headers.get("Content-Length") or 0)
+            if length:
+                self.rfile.read(length)
+            if endpoint == "/checkpoint":
+                code, nbytes = self._post_checkpoint(admin, url.query)
+            else:
+                code = 405
+                nbytes = self._send_json(405, {
+                    "error": "POST not supported here", "see": "/"})
+        except (BrokenPipeError, ConnectionResetError):
+            code = 499
+        finally:
+            us = int((time.perf_counter() - start) * 1_000_000)
+            admin._observe(endpoint, code, us, nbytes)
+
+    def _post_checkpoint(self, admin: AdminServer,
+                         query: str) -> tuple[int, int]:
+        if admin.checkpoint_fn is None:
+            return 404, self._send_json(404, {
+                "error": "no checkpoint provider attached"})
+        raw = parse_qs(query).get("instance", ["0"])[0]
+        try:
+            instance = int(raw)
+        except ValueError:
+            return 400, self._send_json(400, {
+                "error": f"instance must be an integer, got {raw!r}"})
+        try:
+            body = admin.take_checkpoint(instance)
+        except Exception as exc:  # noqa: BLE001 - surfaced to the caller
+            return 400, self._send_json(400, {"error": str(exc)})
+        return 200, self._send_json(200, body)
 
     # ----------------------------------------------------- chunked /events
     def _chunk(self, line: str) -> int:
@@ -321,6 +401,8 @@ repro telemetry plane
   /snapshot    full fleet snapshot (JSON)
   /events      live JSONL tail (?last=N&max=N&timeout_s=S)
   /flamegraph  collapsed stacks (flamegraph.pl / speedscope)
+  /checkpoint  POST — serialize one instance (?instance=N)
+  /postmortems index of captured black-box bundles
 """
 
 

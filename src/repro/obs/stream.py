@@ -169,6 +169,9 @@ class LineTee(_LineSink):
         self._lock = threading.Lock()
         self._subs: dict[int, queue.Queue] = {}
         self._dropped: dict[int, int] = {}
+        #: cumulative drops across every subscriber ever — survives
+        #: unsubscribe, so ``/metrics`` can export it as a counter
+        self.total_dropped = 0
         self._next_sub = 0
 
     def _line(self, line: str) -> None:
@@ -181,6 +184,7 @@ class LineTee(_LineSink):
             except queue.Full:
                 with self._lock:
                     self._dropped[key] = self._dropped.get(key, 0) + 1
+                    self.total_dropped += 1
 
     # ------------------------------------------------------ subscribers
     def subscribe(self, maxsize: int = 1024) -> "queue.Queue[str]":

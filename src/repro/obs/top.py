@@ -150,11 +150,16 @@ class Top:
                 "latency us  "
                 + "  ".join(f"{k} {_fmt(latency.get(k))}"
                             for k in ("p50", "p95", "p99", "max")))
+        # a snapshot may predate the wallclock/watchdog blocks (older
+        # shard, detached farm, postmortem fleet.json) — render visible
+        # placeholders instead of silently dropping the lines
         wall = snap.get("wallclock")
         if wall:
             lines.append(
-                f"wallclock  speed {wall.get('speed')}x   misses "
-                f"{wall.get('deadline_misses', 0)}")
+                f"wallclock  speed {wall.get('speed', '--')}x   misses "
+                f"{wall.get('deadline_misses', '--')}")
+        else:
+            lines.append(self._c(DIM, "wallclock  speed --   misses --"))
         lines.extend(self._watchdog_lines(snap))
         lines.extend(self._shard_lines(snap))
         self.frames_rendered += 1
@@ -163,7 +168,7 @@ class Top:
     def _watchdog_lines(self, snap: dict) -> list[str]:
         report = snap.get("watchdog")
         if not report:
-            return []
+            return [f"watchdog   {self._c(DIM, '--')}"]
         flagged = report.get("flagged", [])
         stuck = [f for f in flagged if f.get("reason") == "stuck"]
         lagging = [f for f in flagged if f.get("reason") == "lagging"]

@@ -2,6 +2,9 @@
 paper's `ceu_go_*` API (§4.5) plus a high-level `Program` facade."""
 
 from .cenv import CAssertionError, CEnv, Rand
+from .checkpoint import (Checkpoint, CheckpointError, PostmortemBundle,
+                         list_postmortems, load_postmortem, restore,
+                         snapshot, snapshot_crash, write_postmortem)
 from .farm import Farm, Instance
 from .program import Program, parse_time
 from .scheduler import RUNNING, TERMINATED, Scheduler
@@ -10,4 +13,7 @@ from .values import CellRef, FuncRef, ItemRef, Ref
 
 __all__ = ["Program", "parse_time", "Scheduler", "RUNNING", "TERMINATED",
            "CEnv", "CAssertionError", "Rand", "Trace", "Reaction", "Step",
-           "Ref", "CellRef", "ItemRef", "FuncRef", "Farm", "Instance"]
+           "Ref", "CellRef", "ItemRef", "FuncRef", "Farm", "Instance",
+           "Checkpoint", "CheckpointError", "PostmortemBundle",
+           "snapshot", "snapshot_crash", "restore", "write_postmortem",
+           "load_postmortem", "list_postmortems"]

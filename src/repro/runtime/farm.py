@@ -61,6 +61,9 @@ class _StubCEnv(CEnv):
     def __init__(self, calls) -> None:
         super().__init__()
         self._calls = calls
+        #: muted during a warm-start replay: the re-executed C calls were
+        #: already counted when the checkpointed instance first ran them
+        self.muted = False
 
     def lookup(self, name: str) -> Any:
         try:
@@ -68,8 +71,9 @@ class _StubCEnv(CEnv):
         except RuntimeCeuError:
             counter = self._calls.labels(name)
 
-            def stub(*args, _c=counter):
-                _c.inc()
+            def stub(*args, _c=counter, _env=self):
+                if not _env.muted:
+                    _c.inc()
                 return 0
 
             self.define(name, stub)
@@ -148,13 +152,21 @@ class Farm:
                  recorder: Optional[FlightRecorder] = None,
                  cenv_factory: Optional[Callable[[], CEnv]] = None,
                  check: bool = True, sinks: Sequence = (),
-                 subscribers: Sequence = ()):
+                 subscribers: Sequence = (), record: bool = False,
+                 postmortem_dir=None):
         self.sim = sim if sim is not None else Simulator()
         self.observe = observe
         self.check = check
         self.cenv_factory = cenv_factory
         self.stream = stream
         self.recorder = recorder
+        #: journal recording per instance — the prerequisite for
+        #: :meth:`checkpoint` / :meth:`postmortem` / warm starts
+        self.record = record
+        #: when set, the watchdog auto-captures a postmortem bundle for
+        #: every newly flagged instance (one per instance, deduplicated)
+        self.postmortem_dir = postmortem_dir
+        self._postmortemmed: set[int] = set()
         #: extra line sinks (e.g. the /events LineTee) ride beside the
         #: exporter/recorder; extra hook subscribers (e.g. one shared
         #: Profiler feeding /flamegraph) attach to every instance's bus
@@ -184,6 +196,16 @@ class Farm:
             "farm_c_calls_total", ("symbol",))
         self._flags = self.fleet.counter_family(
             "farm_watchdog_flags_total", ("reason",))
+        self._checkpoints = self.fleet.counter_family(
+            "farm_checkpoints_total", ("program",))
+        self._postmortems = self.fleet.counter_family(
+            "farm_postmortems_total", ("reason",))
+        self._warm_starts = self.fleet.counter_family(
+            "farm_warm_starts_total", ("program",))
+
+        #: program name → source text (when known) for checkpoint
+        #: self-containment
+        self.sources: dict[str, Optional[str]] = {}
 
         if source is not None:
             self.add_program(program, source)
@@ -196,17 +218,33 @@ class Farm:
         """Bind (and bound-check) a program once for the whole fleet."""
         if isinstance(source, str):
             bound = bind(parse(source, f"<farm:{name}>"))
+            self.sources[name] = source
         elif isinstance(source, ast.Program):
             bound = bind(source)
+            self.sources[name] = None
         else:
             bound = source
+            self.sources[name] = None
         if self.check:
             check_bounded(bound)
         self.programs[name] = bound
 
-    def spawn(self, n: int = 1, program: Optional[str] = None
-              ) -> list[Instance]:
-        """Create and boot ``n`` instances at the current virtual time."""
+    def spawn(self, n: int = 1, program: Optional[str] = None, *,
+              warm_from=None) -> list[Instance]:
+        """Create and boot ``n`` instances at the current virtual time.
+
+        With ``warm_from`` (a :class:`~repro.runtime.checkpoint
+        .Checkpoint`), each instance *warm-starts*: instead of booting
+        from reaction 0 it replays the checkpoint's journal — detached,
+        with C-call counting muted and telemetry unattached, so the
+        already-accounted work is not double-counted — and joins the
+        fleet standing at the checkpoint's boundary with its clock
+        offset so VM time continues from ``checkpoint.clock_us``.  This
+        is the farm-migration seam: a bundle captured on one shard
+        respawns on another mid-flight.
+        """
+        if warm_from is not None:
+            return self._spawn_warm(n, program, warm_from)
         if program is None:
             if len(self.programs) != 1:
                 raise ValueError("program= is required when the farm "
@@ -219,7 +257,7 @@ class Farm:
             cenv = (self.cenv_factory() if self.cenv_factory is not None
                     else _StubCEnv(self._c_calls))
             prog = Program(bound, cenv=cenv, observe=self.observe,
-                           check=False)
+                           check=False, record=self.record)
             prog.sched.output_handler = self._output_handler(program)
             if self._sinks:
                 prog.observe(InstanceTap(self._sinks, index))
@@ -230,6 +268,65 @@ class Farm:
             self._spawned.labels(program).inc()
             self._live_gauge.labels(program).inc()
             prog.start()
+            self._post_drive(inst)
+            born.append(inst)
+        return born
+
+    def _spawn_warm(self, n: int, program: Optional[str],
+                    ckpt) -> list[Instance]:
+        from .checkpoint import (replay_journal, state_fingerprint,
+                                 CheckpointError, apply_options)
+
+        if program is None:
+            program = "warm"
+        if program not in self.programs:
+            self.add_program(program, ckpt.source)
+            self.sources[program] = ckpt.source
+        bound = self.programs[program]
+        boundary = ckpt.reaction_count
+        born = []
+        for _ in range(n):
+            index = len(self.instances)
+            cenv = (self.cenv_factory() if self.cenv_factory is not None
+                    else _StubCEnv(self._c_calls))
+            prog = Program(bound, cenv=cenv, observe=False, check=False,
+                           record=self.record)
+            prog.source = ckpt.source
+            sched = prog.sched
+            apply_options(sched, ckpt)
+            # detached replay to the boundary (telemetry off, stubs muted)
+            muted = isinstance(cenv, _StubCEnv)
+            if muted:
+                cenv.muted = True
+            sched.pause_at = boundary
+            sched.go_init()
+            replay_journal(sched, ckpt.journal, pause_at=boundary)
+            sched.pause_at = None
+            if muted:
+                cenv.muted = False
+            if ckpt.fingerprint is not None:
+                got = state_fingerprint(sched)
+                if got != ckpt.fingerprint:
+                    raise CheckpointError(
+                        f"warm start diverged from checkpoint "
+                        f"(instance {index}): fingerprint {got[:12]}… "
+                        f"!= {ckpt.fingerprint[:12]}…")
+            # attach the fleet telemetry only now — the replayed past is
+            # the checkpointed instance's history, not this one's
+            if self.observe:
+                sched.enable_metrics()
+            sched.output_handler = self._output_handler(program)
+            if self._sinks:
+                prog.observe(InstanceTap(self._sinks, index))
+            for sub in self._subscribers:
+                prog.observe(sub)
+            # VM time continues from the checkpoint clock
+            inst = Instance(index, program, prog,
+                            self.sim.now - ckpt.clock_us)
+            self.instances.append(inst)
+            self._spawned.labels(program).inc()
+            self._warm_starts.labels(program).inc()
+            self._live_gauge.labels(program).inc()
             self._post_drive(inst)
             born.append(inst)
         return born
@@ -397,8 +494,93 @@ class Farm:
                 flagged.append({"instance": inst.index, "reason": "stuck",
                                 "overdue_deadline": overdue,
                                 "queued_inputs": len(sched.input_queue)})
+        if self.postmortem_dir is not None:
+            self._auto_postmortem(flagged)
         return {"fleet_p50_us": fleet_p50, "fleet_p99_us": fleet_p99,
                 "factor": factor, "flagged": flagged}
+
+    def _auto_postmortem(self, flagged: list[dict]) -> None:
+        """Black-box capture for newly flagged instances — once per
+        instance, and never allowed to take the watchdog down with it."""
+        from .checkpoint import CheckpointError
+
+        for flag in flagged:
+            index = flag["instance"]
+            if index in self._postmortemmed:
+                continue
+            try:
+                flag["postmortem"] = str(self.postmortem(
+                    index, reason=flag["reason"], detail=dict(flag)))
+            except (CheckpointError, OSError) as exc:
+                flag["postmortem_error"] = str(exc)
+
+    # --------------------------------------------- checkpoints / postmortems
+    def checkpoint(self, index: int):
+        """Serialize one instance at its current reaction boundary
+        (requires ``record=True``)."""
+        from .checkpoint import snapshot
+
+        inst = self.instances[index]
+        ck = snapshot(inst.program,
+                      source=self.sources.get(inst.program_name),
+                      filename=f"<farm:{inst.program_name}>")
+        self._checkpoints.labels(inst.program_name).inc()
+        return ck
+
+    def postmortem(self, index: int, *, reason: str = "manual",
+                   directory=None, detail: Optional[dict] = None):
+        """Capture a black-box bundle for one instance: its checkpoint,
+        the FlightRecorder ring, the causal slice of its last reaction,
+        and the fleet snapshot — written atomically (complete with
+        manifest, or absent).  Returns the bundle path."""
+        import time as _time
+        from pathlib import Path
+
+        from .checkpoint import write_postmortem
+
+        directory = directory if directory is not None \
+            else self.postmortem_dir
+        if directory is None:
+            raise ValueError("no postmortem directory (pass directory= "
+                             "or construct the farm with postmortem_dir=)")
+        inst = self.instances[index]
+        ck = self.checkpoint(index)
+        bundle = Path(directory) / (f"{inst.program_name}-i{index}"
+                                    f"-r{ck.reaction_count}")
+        lines = self.recorder.lines() if self.recorder is not None \
+            else None
+        path = write_postmortem(
+            bundle, ck, reason=reason, program=inst.program_name,
+            instance=index, recorder_lines=lines,
+            fleet=self.fleet_snapshot(),
+            slice_text=self._causal_slice(inst, ck), detail=detail,
+            created_at=_time.strftime("%Y-%m-%dT%H:%M:%SZ",
+                                      _time.gmtime()))
+        self._postmortems.labels(reason).inc()
+        self._postmortemmed.add(index)
+        return path
+
+    def _causal_slice(self, inst: Instance, ck) -> Optional[str]:
+        """Causal slice of the checkpoint's last reaction, derived by an
+        instrumented detached replay (best-effort — a bundle without a
+        slice is still a bundle)."""
+        try:
+            from ..obs.causal import CausalGraph
+            from .checkpoint import apply_options, replay_journal
+
+            prog = Program(self.programs[inst.program_name], check=False)
+            apply_options(prog.sched, ck)
+            graph = prog.observe(CausalGraph(prog.hooks))
+            boundary = ck.reaction_count
+            prog.sched.pause_at = boundary
+            prog.sched.go_init()
+            replay_journal(prog.sched, ck.journal, pause_at=boundary)
+            node = graph.find(f"reaction:{boundary - 1}")
+            if node is None:
+                return None
+            return graph.render_slice(node.span)
+        except Exception:
+            return None
 
     # ------------------------------------------------------------ snapshot
     def fleet_snapshot(self) -> dict:

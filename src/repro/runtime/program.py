@@ -45,7 +45,7 @@ class Program:
                  observe: bool = False, hooks: Optional[HookBus] = None,
                  check: bool = True, filename: str = "<ceu>",
                  compensate_deltas: bool = True, glitch_free: bool = True,
-                 reverse_seeds: bool = False):
+                 reverse_seeds: bool = False, record: bool = False):
         if isinstance(source, str):
             program = parse(source, filename)
             bound = bind(program)
@@ -56,12 +56,19 @@ class Program:
         if check:
             check_bounded(bound)
         self.bound = bound
+        #: source text and filename, kept for checkpointing (a snapshot
+        #: embeds the program so a bundle is self-contained)
+        self.source: Optional[str] = source if isinstance(source, str) \
+            else None
+        self.filename = filename
         self.trace = Trace(enabled=trace)
         self.sched = Scheduler(bound, cenv=cenv, trace=self.trace,
                                hooks=hooks,
                                compensate_deltas=compensate_deltas,
                                glitch_free=glitch_free,
                                reverse_seeds=reverse_seeds)
+        if record:
+            self.sched.journal = []
         if observe:
             self.sched.enable_metrics()
 
@@ -99,6 +106,13 @@ class Program:
     def output(self) -> str:
         """Everything the program printed via ``_printf`` and friends."""
         return self.cenv.output()
+
+    def checkpoint(self, **kw):
+        """Serialize the current reaction boundary — see
+        :func:`repro.runtime.checkpoint.snapshot` (requires
+        ``record=True``)."""
+        from .checkpoint import snapshot
+        return snapshot(self, **kw)
 
     # ------------------------------------------------------------- driving
     def start(self) -> str:

@@ -102,6 +102,16 @@ class Scheduler:
         self.async_jobs: deque[AsyncJob] = deque()
         self.input_queue: deque[tuple[str, Any]] = deque()
         self.output_handler: Optional[Callable[[str, Any], None]] = None
+        #: checkpoint support (repro.runtime.checkpoint): when a list is
+        #: assigned, every *top-level* driver call — go_event/go_time/
+        #: go_async plus queue_input/flush_inputs — appends one journal
+        #: op.  Nested calls (an async's emit tail-calling go_event, a
+        #: flush delivering queued inputs) are consequences of the
+        #: recorded op and are not journaled; replaying the journal in
+        #: order reproduces the run exactly (the determinism property
+        #: the replay fuzz oracle checks).
+        self.journal: Optional[list[tuple]] = None
+        self._drive_depth = 0
 
         # reaction-chain state
         self._heap: list = []
@@ -196,6 +206,22 @@ class Scheduler:
                     lambda: self._enqueue_resume(trail, None))
         return TERMINATED if self.done else RUNNING
 
+    def _journal_op(self, op: tuple) -> Optional[int]:
+        """Record one top-level driver call for checkpoint replay.
+        Returns the entry index so :meth:`_journal_close` can stamp it."""
+        if self.journal is not None and self._drive_depth == 0:
+            self.journal.append(op)
+            return len(self.journal) - 1
+        return None
+
+    def _journal_close(self, idx: Optional[int]) -> None:
+        """Stamp an entry with the reaction count after its application.
+        Replay uses the stamp to detect a partially applied entry (a
+        pause — or a crash — landed inside a multi-reaction op) and
+        resume it instead of re-running it."""
+        if idx is not None and self.journal is not None:
+            self.journal[idx] = self.journal[idx] + (self.reaction_count,)
+
     def go_event(self, name: str, value: Any = None) -> str:
         """One reaction chain for input event ``name`` (``ceu_go_event``)."""
         if self.done:
@@ -203,6 +229,8 @@ class Scheduler:
         sym = self.bound.events.get(name)
         if sym is None or sym.kind != "input":
             raise RuntimeCeuError(f"`{name}` is not a declared input event")
+        rec = self._journal_op(("E", name, value))
+        self._drive_depth += 1
 
         def seed() -> None:
             waiting = self.ext_waiting.get(name, [])
@@ -213,7 +241,11 @@ class Scheduler:
                 if trail.alive:
                     self._enqueue_resume(trail, value)
 
-        self._react(f"event:{name}", value, seed)
+        try:
+            self._react(f"event:{name}", value, seed)
+        finally:
+            self._drive_depth -= 1
+            self._journal_close(rec)
         return TERMINATED if self.done else RUNNING
 
     def go_time(self, now: int) -> str:
@@ -229,6 +261,16 @@ class Scheduler:
         if now < self.clock:
             raise RuntimeCeuError(
                 f"time goes backwards ({now} < {self.clock})")
+        rec = self._journal_op(("T", now))
+        self._drive_depth += 1
+        try:
+            self._go_time(now)
+        finally:
+            self._drive_depth -= 1
+            self._journal_close(rec)
+        return TERMINATED if self.done else RUNNING
+
+    def _go_time(self, now: int) -> None:
         self.clock = now
         while not self.done and not self.paused():
             deadline = self._next_deadline()
@@ -282,7 +324,6 @@ class Scheduler:
                 self._react("time", deadline, seed, base=deadline)
                 if hooked:
                     self.hooks.cause = prev_cause
-        return TERMINATED if self.done else RUNNING
 
     def advance_time(self, us: int) -> str:
         """Convenience: ``go_time(clock + us)``."""
@@ -293,6 +334,15 @@ class Scheduler:
         single emit of the current job, round-robin across jobs."""
         if self.done:
             return TERMINATED
+        rec = self._journal_op(("A",))
+        self._drive_depth += 1
+        try:
+            return self._go_async()
+        finally:
+            self._drive_depth -= 1
+            self._journal_close(rec)
+
+    def _go_async(self) -> str:
         if self.input_queue:
             # asynchronous code cannot run with pending inputs (§2.7)
             self.flush_inputs()
@@ -330,12 +380,20 @@ class Scheduler:
 
     # input queue (events arriving while a reaction runs / DES platforms)
     def queue_input(self, name: str, value: Any = None) -> None:
+        rec = self._journal_op(("Q", name, value))
         self.input_queue.append((name, value))
+        self._journal_close(rec)
 
     def flush_inputs(self) -> None:
-        while self.input_queue and not self.done and not self.paused():
-            name, value = self.input_queue.popleft()
-            self.go_event(name, value)
+        rec = self._journal_op(("F",))
+        self._drive_depth += 1
+        try:
+            while self.input_queue and not self.done and not self.paused():
+                name, value = self.input_queue.popleft()
+                self.go_event(name, value)
+        finally:
+            self._drive_depth -= 1
+            self._journal_close(rec)
 
     def has_work(self) -> bool:
         """Anything left that could run without external stimulus?"""

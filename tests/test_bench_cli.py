@@ -158,3 +158,30 @@ class TestCli:
         finally:
             bench.TRAILS, bench.EVENTS, bench.DES_EVENTS = saved
         assert rc == 1
+
+
+class TestCheckpointSection:
+    def test_checkpoint_section_shape(self):
+        """A shrunk ``bench --checkpoint`` measurement has every gated
+        field; the *real* gates run on CI-scale workloads, so only the
+        recording-overhead one (machine-independent at any scale) is
+        asserted here."""
+        section = bench.bench_checkpoint(n_instances=6,
+                                         sim_us=1_000_000, repeats=1)
+        assert section["workload"]["instances"] == 6
+        assert set(section["drive_s"]) == {"norecord", "record"}
+        cap = section["capture"]
+        assert cap["bytes"] > 0
+        assert cap["journal_entries"] >= 1
+        assert cap["reactions"] >= 2
+        warm = section["warm_start"]
+        assert warm["cold_boot_s"] > 0 and warm["warm_s"] > 0
+        assert warm["speedup"] == warm["cold_boot_s"] / warm["warm_s"]
+        budget = section["budget"]
+        assert budget["record_vs_norecord_max"] == bench.CHECKPOINT_BUDGET
+        assert budget["warm_speedup_min"] == bench.WARM_SPEEDUP_MIN
+        assert isinstance(budget["within_budget"], bool)
+
+    def test_checkpoint_flag_parses(self):
+        args = build_parser().parse_args(["bench", "--checkpoint"])
+        assert args.checkpoint

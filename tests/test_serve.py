@@ -223,3 +223,117 @@ class TestGracefulShutdown:
             records = [json.loads(line) for line in fh]
         assert records, "stream was not flushed on drain"
         assert all("ev" in r for r in records)
+
+
+def _post(url: str, timeout: float = 5.0) -> tuple[int, bytes]:
+    req = urllib.request.Request(url, data=b"", method="POST")
+    try:
+        with urllib.request.urlopen(req, timeout=timeout) as resp:
+            return resp.status, resp.read()
+    except urllib.error.HTTPError as err:
+        return err.code, err.read()
+
+
+@pytest.fixture()
+def ckpt_served(tmp_path):
+    """A recorded farm behind an AdminServer with the checkpoint plane
+    attached — the wiring ``repro farm --serve --record`` does."""
+    from repro.runtime.checkpoint import list_postmortems
+
+    tee = LineTee()
+    farm = Farm(TICKER, n=2, program="tick", sinks=[tee], record=True,
+                postmortem_dir=tmp_path / "pm")
+    farm.run_until(1_000_000)
+    driver = WallClockDriver(farm)
+    ck_dir = tmp_path / "ck"
+
+    def checkpoint_fn(instance: int) -> dict:
+        ck = farm.checkpoint(instance)
+        ck_dir.mkdir(parents=True, exist_ok=True)
+        path = ck.save(ck_dir / f"i{instance}.json")
+        return {"instance": instance, "describe": ck.describe(),
+                "boundary": ck.boundary, "path": str(path)}
+
+    server = AdminServer(
+        driver.snapshot, health_fn=farm.watchdog,
+        ready_fn=lambda: True, events=tee,
+        checkpoint_fn=checkpoint_fn,
+        postmortems_fn=lambda: list_postmortems(farm.postmortem_dir),
+        lock=driver.lock).start()
+    try:
+        yield server, farm, tee
+    finally:
+        server.close()
+        farm.close()
+
+
+class TestCheckpointPlane:
+    def test_post_checkpoint_round_trips(self, ckpt_served):
+        from repro.runtime.checkpoint import Checkpoint
+
+        server, farm, _ = ckpt_served
+        code, body = _post(server.address + "/checkpoint?instance=1")
+        assert code == 200
+        payload = json.loads(body)
+        assert payload["instance"] == 1
+        assert payload["describe"].startswith("checkpoint v1")
+        assert payload["boundary"]["reactions"] >= 1
+        saved = Checkpoint.load(payload["path"])
+        assert saved.boundary == payload["boundary"]
+        # the farm counter rides into /metrics via the fleet snapshot
+        code, body, _ = _get(server.address + "/metrics")
+        text = body.decode()
+        assert check_prom(text) == []
+        assert "repro_farm_checkpoints_total" in text
+
+    def test_post_checkpoint_rejects_bad_instances(self, ckpt_served):
+        server, _, _ = ckpt_served
+        code, body = _post(server.address + "/checkpoint?instance=99")
+        assert code == 400
+        assert "error" in json.loads(body)
+        code, body = _post(server.address + "/checkpoint?instance=x")
+        assert code == 400
+        assert "integer" in json.loads(body)["error"]
+
+    def test_post_without_provider_404s(self, served):
+        server, _, _ = served
+        code, body = _post(server.address + "/checkpoint")
+        assert code == 404
+        assert "no checkpoint provider" in json.loads(body)["error"]
+
+    def test_post_to_get_endpoint_is_405(self, ckpt_served):
+        server, _, _ = ckpt_served
+        code, _ = _post(server.address + "/metrics")
+        assert code == 405
+
+    def test_postmortems_endpoint_lists_bundles(self, ckpt_served):
+        server, farm, _ = ckpt_served
+        code, body, _ = _get(server.address + "/postmortems")
+        assert code == 200
+        assert json.loads(body) == {"count": 0, "postmortems": []}
+        farm.postmortem(0, reason="manual")
+        code, body, _ = _get(server.address + "/postmortems")
+        listing = json.loads(body)
+        assert listing["count"] == 1
+        assert listing["postmortems"][0]["reason"] == "manual"
+        assert listing["postmortems"][0]["bundle"].startswith("tick-i0")
+
+    def test_postmortems_without_provider_404s(self, served):
+        server, _, _ = served
+        code, body, _ = _get(server.address + "/postmortems")
+        assert code == 404
+        assert "no postmortem provider" in json.loads(body)["error"]
+
+    def test_dropped_event_lines_are_exported(self, served):
+        server, _, tee = served
+        q = tee.subscribe(maxsize=1)
+        try:
+            for n in range(3):
+                tee._line('{"ev": "x", "n": %d}' % n)
+        finally:
+            tee.unsubscribe(q)
+        assert tee.total_dropped == 2
+        code, body, _ = _get(server.address + "/metrics")
+        text = body.decode()
+        assert check_prom(text) == []
+        assert "repro_telemetry_events_dropped_total 2" in text

@@ -111,6 +111,33 @@ class TestFrames:
         assert "speed 50.0x" in frame
         assert "misses 3" in frame
 
+    def test_snapshot_without_wallclock_renders_placeholder(self):
+        """A snapshot predating the wallclock block (older shard,
+        detached farm, a postmortem bundle's fleet.json) still renders
+        the line — with ``--`` placeholders, never a KeyError."""
+        top, _ = _top([_snap()])
+        frame = top.frame()
+        assert "wallclock  speed --   misses --" in frame
+
+    def test_snapshot_without_watchdog_renders_placeholder(self):
+        top, _ = _top([_snap()])
+        frame = top.frame()
+        assert "watchdog   --" in frame
+
+    def test_postmortem_fleet_snapshot_renders(self):
+        """The exact shape ``repro postmortem`` finds in fleet.json —
+        counters only, no watchdog, no wallclock — paints a full frame."""
+        top, _ = _top([{
+            "schema": 1, "instances": 3, "spawned": 3, "done": 0,
+            "now_us": 500_000, "sim": {"events_fired": 12},
+            "merged": {"counters": {"reactions_total": 42},
+                       "gauges": {}, "histograms": {}},
+        }])
+        frame = top.frame()
+        assert "reactions 42 total" in frame
+        assert "wallclock  speed --" in frame
+        assert "watchdog   --" in frame
+
 
 class TestLoopAndKeys:
     def test_quit_keys(self):
